@@ -1,0 +1,39 @@
+//! # bam-baselines — the systems BaM is compared against
+//!
+//! The paper evaluates BaM against a family of CPU-centric and DRAM-only
+//! systems, none of which can be run directly here (they are CUDA-, driver-
+//! or product-specific). Each is reproduced as a model that pays exactly the
+//! overheads the paper attributes to it, parameterized by the constants in
+//! `bam-timing` (page-fault rate, per-I/O CPU overhead, staging cost, ...):
+//!
+//! | Module | Paper system | Used in |
+//! |---|---|---|
+//! | [`target`] | "Target" (T): dataset in host memory, GPU zero-copy access (EMOGI-style) | Fig 7, Fig 15 |
+//! | [`tiling`] | Proactive tiling: CPU partitions, transfers, launches per tile | §5.4 vectorAdd, Appendix B.1 |
+//! | [`uvm`] | UVM/reactive page faults | Fig 15, Appendix B.2 |
+//! | [`gds`] | NVIDIA GPUDirect Storage (CPU-initiated, GPU-direct data path) | Fig 5 |
+//! | [`activepointers`] | ActivePointers + GPUfs (CPU-mediated GPU cache) | Fig 6 |
+//! | [`rapids`] | RAPIDS data analytics (proactive column transfers) | Fig 12, Fig 14 |
+//! | [`bam_model`] | BaM itself: converts functionally measured counts into time | Figs 4–12 |
+//!
+//! All models consume an [`AccessDemand`] describing what a workload needs
+//! (dataset size, bytes actually touched, access granularity, compute) and
+//! produce an [`bam_timing::ExecutionBreakdown`].
+
+pub mod activepointers;
+pub mod bam_model;
+pub mod demand;
+pub mod gds;
+pub mod rapids;
+pub mod target;
+pub mod tiling;
+pub mod uvm;
+
+pub use activepointers::ActivePointersModel;
+pub use bam_model::BamPerformanceModel;
+pub use demand::AccessDemand;
+pub use gds::GdsModel;
+pub use rapids::{RapidsModel, RapidsQueryResult};
+pub use target::TargetSystem;
+pub use tiling::ProactiveTiling;
+pub use uvm::UvmModel;

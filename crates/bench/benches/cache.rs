@@ -1,0 +1,95 @@
+//! Criterion benches of the BaM software cache (§3.4) and its ablations:
+//! hit path, miss/eviction path, warp coalescing on vs off, and clock
+//! replacement under a streaming working set.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bam_core::{BamConfig, BamSystem};
+use bam_gpu_sim::{GpuExecutor, GpuSpec, WARP_SIZE};
+
+fn system(coalescing: bool, cache_kib: u64) -> BamSystem {
+    let cfg = BamConfig {
+        cache_bytes: cache_kib * 1024,
+        warp_coalescing: coalescing,
+        ..BamConfig::test_scale()
+    };
+    BamSystem::new(cfg).unwrap()
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/hit_path");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let sys = system(true, 256);
+    let arr = sys.create_array::<u64>(8192).unwrap();
+    arr.preload(&(0..8192u64).collect::<Vec<_>>()).unwrap();
+    // Warm the cache.
+    for i in 0..8192 {
+        arr.read(i).unwrap();
+    }
+    group.bench_function("single_element_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 8192;
+            std::hint::black_box(arr.read(i).unwrap())
+        })
+    });
+    group.bench_function("read_run_hot_64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 64) % 8000;
+            std::hint::black_box(arr.read_run(i, 64).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_miss_and_eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/miss_eviction");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    // Cache of 64 KiB streaming over a 2 MiB working set: every run iteration
+    // evicts.
+    let sys = system(true, 64);
+    let n = (2u64 << 20) / 8;
+    let arr = sys.create_array::<u64>(n).unwrap();
+    arr.preload(&(0..n).collect::<Vec<_>>()).unwrap();
+    group.bench_function("streaming_eviction_run_64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4096) % (n - 64);
+            std::hint::black_box(arr.read_run(i, 64).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_coalescing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache/warp_coalescing");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for coalescing in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("enabled", coalescing),
+            &coalescing,
+            |b, &coalescing| {
+                let sys = system(coalescing, 512);
+                let arr = sys.create_array::<u32>(1 << 16).unwrap();
+                arr.preload(&(0..1u32 << 16).collect::<Vec<_>>()).unwrap();
+                let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 4);
+                b.iter(|| {
+                    exec.launch(4096, |warp| {
+                        let mut indices = [None; WARP_SIZE];
+                        for (lane, tid) in warp.lanes() {
+                            indices[lane] = Some(tid as u64 % (1 << 16));
+                        }
+                        std::hint::black_box(arr.gather_warp(warp, &indices).unwrap());
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_miss_and_eviction, bench_coalescing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion wrappers over the figure/table harnesses so `cargo bench` also
+//! regenerates every evaluation artifact end to end (at reduced scale).
+//!
+//! The `src/bin/fig*.rs` binaries remain the primary way to print the
+//! paper-style rows; these benches measure how long each harness takes and
+//! keep them exercised by CI-style runs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bam_bench::{analytics_exp, graph_exp, micro_exp, misc_exp};
+
+/// Scale used for the graph-based harnesses inside criterion (smaller than
+/// the binaries' default so iterations stay sub-second).
+const BENCH_SCALE: f64 = 3.0e-6;
+
+fn bench_tables_and_analytic_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/analytic");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group.bench_function("table2", |b| b.iter(|| std::hint::black_box(misc_exp::table2())));
+    group.bench_function("table3", |b| {
+        b.iter(|| std::hint::black_box(misc_exp::table3(BENCH_SCALE, 1)))
+    });
+    group.bench_function("fig4_iops_scaling", |b| {
+        b.iter(|| std::hint::black_box(micro_exp::figure4(&[1, 4, 10], &[1024, 1 << 20], 0)))
+    });
+    group.bench_function("fig5_granularity_sweep", |b| {
+        b.iter(|| {
+            std::hint::black_box(micro_exp::figure5(8 << 30, &[4096, 32768, 262_144]))
+        })
+    });
+    group.bench_function("fig6_activepointers", |b| {
+        b.iter(|| std::hint::black_box(micro_exp::figure6(&[65_536, 1 << 20], &[512, 4096, 8192])))
+    });
+    group.bench_function("fig13_registers", |b| b.iter(|| std::hint::black_box(misc_exp::figure13())));
+    group.bench_function("fig14_rapids_breakdown", |b| {
+        b.iter(|| std::hint::black_box(analytics_exp::figure14()))
+    });
+    group.finish();
+}
+
+fn bench_functional_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/functional");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(4));
+    group.bench_function("fig7_graph_end_to_end", |b| {
+        b.iter(|| std::hint::black_box(graph_exp::figure7(BENCH_SCALE, 1)))
+    });
+    group.bench_function("fig8_sources_of_improvement_k", |b| {
+        b.iter(|| std::hint::black_box(graph_exp::figure8(&["K"], BENCH_SCALE, 2)))
+    });
+    group.bench_function("fig9_ssd_technologies", |b| {
+        b.iter(|| std::hint::black_box(graph_exp::figure9(BENCH_SCALE, 3)))
+    });
+    group.bench_function("fig10_cache_capacity", |b| {
+        b.iter(|| std::hint::black_box(graph_exp::figure10(BENCH_SCALE, 4)))
+    });
+    group.bench_function("fig11_queue_pairs", |b| {
+        b.iter(|| std::hint::black_box(graph_exp::figure11(BENCH_SCALE, 5)))
+    });
+    group.bench_function("fig12_analytics_queries", |b| {
+        b.iter(|| std::hint::black_box(analytics_exp::figure12(8_192, 6)))
+    });
+    group.bench_function("fig15_uvm_zerocopy", |b| {
+        b.iter(|| std::hint::black_box(misc_exp::figure15(BENCH_SCALE, 7)))
+    });
+    group.bench_function("vectoradd_eval", |b| {
+        b.iter(|| std::hint::black_box(misc_exp::vectoradd_eval(10_000, 4_000_000_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables_and_analytic_figures, bench_functional_figures);
+criterion_main!(benches);

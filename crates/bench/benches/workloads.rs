@@ -1,0 +1,62 @@
+//! Criterion benches of the end-to-end workloads at reduced scale: BFS, CC,
+//! an analytics query, and vectorAdd, all running through the full BaM stack.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bam_core::{BamConfig, BamSystem};
+use bam_gpu_sim::{GpuExecutor, GpuSpec};
+use bam_workloads::analytics::{query_bam, BamTaxiTable, TaxiTable};
+use bam_workloads::graph::{bfs_bam, cc_bam, uniform_random, upload_edge_list};
+use bam_workloads::vectoradd::{setup, vectoradd_bam};
+
+fn small_system() -> BamSystem {
+    BamSystem::new(BamConfig::test_scale()).unwrap()
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/graph");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    let graph = uniform_random(2000, 16_000, 17);
+    let sys = small_system();
+    let edges = upload_edge_list(&sys, &graph).unwrap();
+    let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 4);
+    group.bench_function("bfs_2k_nodes", |b| {
+        b.iter(|| std::hint::black_box(bfs_bam(&graph.offsets, &edges, 0, &exec).unwrap()))
+    });
+    group.bench_function("cc_2k_nodes", |b| {
+        b.iter(|| std::hint::black_box(cc_bam(&graph.offsets, &edges, &exec).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/analytics");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    let table = TaxiTable::generate(16_384, 0.01, 3);
+    let mut cfg = BamConfig::test_scale();
+    cfg.ssd_capacity_bytes = 16 << 20;
+    let sys = BamSystem::new(cfg).unwrap();
+    let bam_table = BamTaxiTable::upload(&sys, &table).unwrap();
+    let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 4);
+    group.bench_function("query_q5_16k_rows", |b| {
+        b.iter(|| std::hint::black_box(query_bam(&bam_table, 5, &exec).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_vectoradd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/vectoradd");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    let sys = small_system();
+    let (a, b_arr, out) = setup(&sys, 20_000).unwrap();
+    let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 4);
+    group.bench_function("vectoradd_20k", |b| {
+        b.iter(|| std::hint::black_box(vectoradd_bam(&sys, &a, &b_arr, &out, &exec).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph, bench_analytics, bench_vectoradd);
+criterion_main!(benches);

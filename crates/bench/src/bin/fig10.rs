@@ -1,0 +1,22 @@
+//! Regenerates Figure 10: cache-capacity sensitivity (K dataset).
+use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
+
+fn main() {
+    let rows = graph_exp::figure10(GRAPH_SCALE, 10);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.label().to_string(),
+                format!("{}GB", r.cache_gb_equivalent),
+                format!("{:.2}x", r.slowdown),
+                format!("{:.0}%", r.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10: BaM cache capacity sweep (K dataset, relative to 8GB)",
+        &["Workload", "Cache size", "Slowdown", "Hit rate"],
+        &table,
+    );
+}

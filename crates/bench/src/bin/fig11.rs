@@ -1,0 +1,21 @@
+//! Regenerates Figure 11: NVMe queue-pair count sensitivity (K dataset).
+use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
+
+fn main() {
+    let rows = graph_exp::figure11(GRAPH_SCALE, 11);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.label().to_string(),
+                r.queue_pairs.to_string(),
+                format!("{:.2}x", r.slowdown),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11: queue-pair sweep (K dataset, relative to 128 queue pairs)",
+        &["Workload", "Queue pairs", "Slowdown"],
+        &table,
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 12: data-analytics queries, BaM vs RAPIDS.
+use bam_bench::{analytics_exp, print_table, scale::TAXI_ROWS};
+
+fn main() {
+    let rows = analytics_exp::figure12(TAXI_ROWS, 12);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("Q{}", r.query),
+                format!("{:.2}", r.rapids.total_s()),
+                format!("{:.2}", r.bam_seconds[0]),
+                format!("{:.2}", r.bam_seconds[1]),
+                format!("{:.2}", r.bam_seconds[2]),
+                format!("{:.2}x", r.speedup_4ssd()),
+                format!("{:.2}x", r.rapids_io_amplification),
+                format!("{:.2}x", r.bam_io_amplification),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12: NYC-taxi-style queries, RAPIDS (CPU-mem) vs BaM (seconds, full 1.7B-row scale)",
+        &["Query", "RAPIDS", "BaM 1 SSD", "BaM 2 SSD", "BaM 4 SSD", "Speedup(4)", "RAPIDS amp", "BaM amp"],
+        &table,
+    );
+}

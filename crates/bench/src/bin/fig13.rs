@@ -1,0 +1,22 @@
+//! Regenerates Figure 13: per-thread register usage with and without BaM.
+use bam_bench::{misc_exp, print_table};
+
+fn main() {
+    let rows = misc_exp::figure13();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.application.clone(),
+                r.without_bam.to_string(),
+                r.with_bam.to_string(),
+                if r.spills_with_bam { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 13: per-thread register usage",
+        &["Application", "Without BaM", "With BaM", "Spills"],
+        &table,
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 14: RAPIDS execution-time breakdown and I/O
+//! amplification for queries Q0-Q5.
+use bam_bench::{analytics_exp, print_table};
+
+fn main() {
+    let rows = analytics_exp::figure14();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("Q{}", r.query),
+                format!("{:.1}%", r.init_fraction * 100.0),
+                format!("{:.1}%", r.query_fraction * 100.0),
+                format!("{:.1}%", r.cleanup_fraction * 100.0),
+                format!("{:.2}x", r.io_amplification),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 14: RAPIDS time breakdown and I/O amplification",
+        &["Query", "Row-group init", "Query", "Cleanup", "I/O amplification"],
+        &table,
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 4: 512 B random read/write IOPS scaling with request
+//! count and SSD count.
+use bam_bench::{micro_exp, print_table};
+
+fn main() {
+    let requests: Vec<u64> = (10..=25).map(|s| 1u64 << s).collect();
+    let rows = micro_exp::figure4(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], &requests, 200);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.num_ssds.to_string(),
+                r.requests.to_string(),
+                format!("{:.2}", r.read_miops),
+                format!("{:.2}", r.write_miops),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4: 512B random read/write IOPS (BaM, Intel Optane P5800X)",
+        &["SSDs", "Requests", "Read MIOPS", "Write MIOPS"],
+        &table,
+    );
+}

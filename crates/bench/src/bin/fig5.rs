@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: achieved bandwidth vs I/O granularity, BaM vs GDS.
+use bam_bench::{micro_exp, print_table};
+
+fn main() {
+    let grans: Vec<u64> = [4, 8, 16, 32, 64, 128, 256].iter().map(|k| k * 1024).collect();
+    let rows = micro_exp::figure5(128 << 30, &grans);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}KB", r.io_bytes / 1024),
+                format!("{:.1}%", r.gds_utilization * 100.0),
+                format!("{:.1}%", r.bam_utilization * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: % of peak x16 PCIe bandwidth vs I/O granularity (128 GB, 4 SSDs)",
+        &["I/O granularity", "GDS", "BaM"],
+        &table,
+    );
+}

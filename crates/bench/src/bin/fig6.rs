@@ -1,0 +1,25 @@
+//! Regenerates Figure 6: BaM vs ActivePointers+GPUfs, hot and cold caches.
+use bam_bench::{micro_exp, print_table};
+
+fn main() {
+    let rows = micro_exp::figure6(&[65_536, 1 << 20], &[512, 4096, 8192]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.threads),
+                format!("{}B", r.line_bytes),
+                if r.hot { "hot" } else { "cold" }.to_string(),
+                format!("{:.1}", r.bam_gbps),
+                format!("{:.1}", r.activepointers_gbps),
+                format!("{:.2}", r.bam_miss_miops),
+                format!("{:.2}", r.ap_miss_miops),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6: BaM (B) vs ActivePointers+GPUfs (AP)",
+        &["Threads", "Line", "Cache", "B GB/s", "AP GB/s", "B miss MIOPS", "AP miss MIOPS"],
+        &table,
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 7: BFS/CC end-to-end time, Target vs BaM, 1 vs 4 SSDs.
+use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
+
+fn main() {
+    assert!(
+        graph_exp::verify_bfs_against_reference(GRAPH_SCALE, 7),
+        "functional BFS must match the host reference before reporting times"
+    );
+    let rows = graph_exp::figure7(GRAPH_SCALE, 7);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}_{}_{}I", r.dataset, if r.num_ssds == 1 { "T/B" } else { "T/B" }, r.num_ssds),
+                r.workload.label().to_string(),
+                format!("{:.2}", r.target.total_s()),
+                format!("{:.2}", r.bam.total_s()),
+                format!("{:.2}", r.bam.compute_s),
+                format!("{:.2}", r.bam.cache_api_s),
+                format!("{:.2}", r.bam.storage_io_s),
+                format!("{:.2}x", r.bam.speedup_vs(&r.target)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 7: graph analytics, Target (T) vs BaM (B), 1 and 4 Intel Optane SSDs (seconds)",
+        &["Config", "Workload", "Target", "BaM", "BaM compute", "BaM cache", "BaM storage", "Speedup"],
+        &table,
+    );
+}

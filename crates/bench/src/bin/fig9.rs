@@ -1,0 +1,22 @@
+//! Regenerates Figure 9: slowdown with Samsung PM1735 and 980pro SSDs.
+use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
+
+fn main() {
+    let rows = graph_exp::figure9(GRAPH_SCALE, 9);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                r.workload.label().to_string(),
+                format!("{:.2}x", r.pm1735_slowdown),
+                format!("{:.2}x", r.s980pro_slowdown),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 9: slowdown vs 4x Intel Optane",
+        &["Graph", "Workload", "Datacenter PM1735", "Consumer 980pro"],
+        &table,
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 2: SSD technology comparison against DRAM.
+use bam_bench::{misc_exp, print_table};
+
+fn main() {
+    let rows: Vec<Vec<String>> = misc_exp::table2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                format!("{:.1}M / {:.1}M", r.read_iops_512 / 1e6, r.read_iops_4k / 1e6),
+                format!("{:.2}M / {:.2}M", r.write_iops_512 / 1e6, r.write_iops_4k / 1e6),
+                format!("{:.1}", r.latency_us),
+                format!("{:.1}", r.dwpd),
+                format!("{:.2}", r.cost_per_gb),
+                format!("{:.1}x", r.gain),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: SSD technologies vs DRAM",
+        &["Product", "RD IOPS (512B/4KB)", "WR IOPS (512B/4KB)", "Latency (us)", "DWPD", "$/GB", "Gain"],
+        &rows,
+    );
+}

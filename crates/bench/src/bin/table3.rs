@@ -1,0 +1,24 @@
+//! Regenerates Table 3: graph datasets (original sizes and the scaled
+//! instances used by the functional runs).
+use bam_bench::{misc_exp, print_table, scale::GRAPH_SCALE};
+
+fn main() {
+    let rows: Vec<Vec<String>> = misc_exp::table3(GRAPH_SCALE, 42)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} ({})", r.name, r.short_name),
+                format!("{:.1}M", r.original_nodes as f64 / 1e6),
+                format!("{:.2}B", r.original_edges as f64 / 1e9),
+                format!("{:.1}", r.original_size_gb),
+                format!("{}", r.generated_nodes),
+                format!("{}", r.generated_edges),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: graph datasets (original -> generated at functional scale)",
+        &["Graph", "Nodes", "Edges", "Size (GB)", "Gen. nodes", "Gen. edges"],
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 5.4 vectorAdd comparison: BaM vs proactive tiling.
+use bam_bench::misc_exp;
+
+fn main() {
+    let e = misc_exp::vectoradd_eval(50_000, 4_000_000_000);
+    println!("=== Section 5.4: vectorAdd (two 4B-element inputs, one output) ===");
+    println!("proactive tiling baseline : {:.2} s", e.tiling_seconds);
+    println!("BaM                       : {:.2} s", e.bam_seconds);
+    println!("BaM slowdown              : {:.2}x (paper reports 1.51x)", e.bam_slowdown);
+}

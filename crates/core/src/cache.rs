@@ -1,0 +1,518 @@
+//! The BaM software cache (paper §3.4).
+//!
+//! The cache is sized and allocated entirely at startup, keeping the runtime
+//! critical sections tiny: probing is a single atomic read-modify-write on a
+//! per-line state word, insertion locks only the line being inserted (by
+//! flipping it to a transient *busy* state), and eviction uses a clock hand
+//! advanced with one atomic increment so concurrent threads evict distinct
+//! slots in parallel. Reference counts pin lines while in use; dirty bits
+//! drive write-back.
+//!
+//! Per-line state is a packed 64-bit word:
+//!
+//! ```text
+//!  63           32 31    4  3      2     1..0
+//! +---------------+--------+--------+---------+
+//! |   slot index  | refcnt | dirty  |  state  |
+//! +---------------+--------+--------+---------+
+//! ```
+//!
+//! with `state ∈ {INVALID, BUSY, VALID}`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bam_mem::DevAddr;
+
+use crate::backing::CacheBacking;
+use crate::error::BamError;
+use crate::metrics::BamMetrics;
+
+const STATE_INVALID: u64 = 0;
+const STATE_BUSY: u64 = 1;
+const STATE_VALID: u64 = 2;
+const STATE_MASK: u64 = 0b11;
+const DIRTY_BIT: u64 = 1 << 2;
+const REF_SHIFT: u32 = 3;
+const REF_MASK: u64 = (1 << 29) - 1; // 29 bits of reference count
+const SLOT_SHIFT: u32 = 32;
+
+/// Sentinel in `slot_to_line` marking a slot claimed by an in-progress fetch.
+const SLOT_CLAIMED: u64 = u64::MAX;
+
+#[inline]
+fn pack(state: u64, dirty: bool, refs: u64, slot: u64) -> u64 {
+    debug_assert!(refs <= REF_MASK);
+    state | if dirty { DIRTY_BIT } else { 0 } | (refs << REF_SHIFT) | (slot << SLOT_SHIFT)
+}
+
+#[inline]
+fn state_of(word: u64) -> u64 {
+    word & STATE_MASK
+}
+
+#[inline]
+fn is_dirty(word: u64) -> bool {
+    word & DIRTY_BIT != 0
+}
+
+#[inline]
+fn refs_of(word: u64) -> u64 {
+    (word >> REF_SHIFT) & REF_MASK
+}
+
+#[inline]
+fn slot_of(word: u64) -> u64 {
+    word >> SLOT_SHIFT
+}
+
+/// A pinned reference to a cache line, returned by [`BamCache::acquire`].
+///
+/// While the guard lives, the line cannot be evicted. Dropping it releases
+/// the reference (the paper's "decrement its reference count when done").
+pub struct LineGuard<'a> {
+    cache: &'a BamCache,
+    line: u64,
+    slot: u64,
+}
+
+impl LineGuard<'_> {
+    /// The cache line index this guard pins.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// GPU-memory address of the first byte of the cached line.
+    pub fn addr(&self) -> DevAddr {
+        self.cache.slot_addr(self.slot)
+    }
+
+    /// Marks the line dirty (call after writing through [`LineGuard::addr`]).
+    pub fn mark_dirty(&self) {
+        self.cache.line_state[self.line as usize].fetch_or(DIRTY_BIT, Ordering::AcqRel);
+    }
+}
+
+impl Drop for LineGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.release(self.line);
+    }
+}
+
+impl std::fmt::Debug for LineGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineGuard").field("line", &self.line).field("slot", &self.slot).finish()
+    }
+}
+
+/// The BaM software cache.
+pub struct BamCache {
+    backing: Arc<dyn CacheBacking>,
+    metrics: Arc<BamMetrics>,
+    /// Per-line packed state word.
+    line_state: Vec<AtomicU64>,
+    /// Per-slot owner line (+1), 0 when empty, `SLOT_CLAIMED` mid-fetch.
+    slot_to_line: Vec<AtomicU64>,
+    /// Clock hand for eviction.
+    clock: AtomicU64,
+    /// Base address of the slot data array in GPU memory.
+    slots_base: DevAddr,
+    line_bytes: u64,
+    num_slots: u64,
+}
+
+impl std::fmt::Debug for BamCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BamCache")
+            .field("num_slots", &self.num_slots)
+            .field("num_lines", &self.line_state.len())
+            .field("line_bytes", &self.line_bytes)
+            .finish()
+    }
+}
+
+impl BamCache {
+    /// Creates a cache of `num_slots` lines over `backing`, with slot storage
+    /// pre-allocated at `slots_base` in GPU memory (`num_slots × line_bytes`
+    /// bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slots` is zero.
+    pub fn new(
+        backing: Arc<dyn CacheBacking>,
+        metrics: Arc<BamMetrics>,
+        slots_base: DevAddr,
+        num_slots: u64,
+    ) -> Self {
+        assert!(num_slots > 0, "cache must have at least one slot");
+        let num_lines = backing.num_lines();
+        let line_bytes = backing.line_bytes();
+        let mut line_state = Vec::with_capacity(num_lines as usize);
+        line_state.resize_with(num_lines as usize, || AtomicU64::new(pack(STATE_INVALID, false, 0, 0)));
+        let mut slot_to_line = Vec::with_capacity(num_slots as usize);
+        slot_to_line.resize_with(num_slots as usize, || AtomicU64::new(0));
+        Self {
+            backing,
+            metrics,
+            line_state,
+            slot_to_line,
+            clock: AtomicU64::new(0),
+            slots_base,
+            line_bytes,
+            num_slots,
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of cache slots.
+    pub fn num_slots(&self) -> u64 {
+        self.num_slots
+    }
+
+    /// Number of backing lines.
+    pub fn num_lines(&self) -> u64 {
+        self.line_state.len() as u64
+    }
+
+    /// GPU-memory address of slot `slot`.
+    pub fn slot_addr(&self, slot: u64) -> DevAddr {
+        self.slots_base + slot * self.line_bytes
+    }
+
+    /// Acquires (pins) `line`, fetching it from the backing store on a miss.
+    ///
+    /// This is the cache-probe path of Figure 2: probe the line state ❹; on a
+    /// hit bump the reference count; on a miss lock the line (busy), find a
+    /// victim with the clock hand, fetch from backing ❺–❼, publish, and
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::IndexOutOfBounds`] for a line beyond the backing
+    /// store, [`BamError::CacheThrashing`] if every slot stays pinned, or a
+    /// storage error from the fetch.
+    pub fn acquire(&self, line: u64) -> Result<LineGuard<'_>, BamError> {
+        if line >= self.num_lines() {
+            return Err(BamError::IndexOutOfBounds { index: line, len: self.num_lines() });
+        }
+        self.metrics.record_probe();
+        let state = &self.line_state[line as usize];
+        let mut spins = 0u64;
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            match state_of(cur) {
+                STATE_VALID => {
+                    let next = pack(STATE_VALID, is_dirty(cur), refs_of(cur) + 1, slot_of(cur));
+                    if state
+                        .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.metrics.record_hit();
+                        return Ok(LineGuard { cache: self, line, slot: slot_of(cur) });
+                    }
+                }
+                STATE_BUSY => {
+                    // Another thread is fetching or evicting this line; the
+                    // lock on the line prevents duplicate storage requests.
+                    spin(&mut spins);
+                }
+                _ => {
+                    // INVALID: try to become the fetching thread.
+                    let busy = pack(STATE_BUSY, false, 0, 0);
+                    if state
+                        .compare_exchange_weak(cur, busy, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.metrics.record_miss();
+                    let slot = match self.find_victim() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            // Roll back so other threads are not stuck behind
+                            // a permanently busy line.
+                            state.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
+                            return Err(e);
+                        }
+                    };
+                    if let Err(e) = self.backing.fetch_line(line, self.slot_addr(slot)) {
+                        self.slot_to_line[slot as usize].store(0, Ordering::Release);
+                        state.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
+                        return Err(e);
+                    }
+                    self.slot_to_line[slot as usize].store(line + 1, Ordering::Release);
+                    state.store(pack(STATE_VALID, false, 1, slot), Ordering::Release);
+                    return Ok(LineGuard { cache: self, line, slot });
+                }
+            }
+        }
+    }
+
+    /// Releases one reference on `line` (used by [`LineGuard::drop`]).
+    fn release(&self, line: u64) {
+        let prev =
+            self.line_state[line as usize].fetch_sub(1 << REF_SHIFT, Ordering::AcqRel);
+        debug_assert!(refs_of(prev) > 0, "release without a matching acquire");
+    }
+
+    /// Finds a slot to hold a newly fetched line, evicting an unpinned valid
+    /// line if necessary (clock replacement, §3.4).
+    fn find_victim(&self) -> Result<u64, BamError> {
+        // Bound the search: after enough full sweeps with every slot pinned
+        // or busy, report thrashing rather than hanging. Yield between sweeps
+        // so short-lived pins held by concurrent threads get a chance to be
+        // released (transient full-pin states are normal; permanent ones are
+        // the application bug this error reports).
+        let limit = self.num_slots * 4096 + 65_536;
+        for attempt in 0..limit {
+            if attempt > 0 && attempt % self.num_slots == 0 {
+                std::thread::yield_now();
+            }
+            let slot = self.clock.fetch_add(1, Ordering::Relaxed) % self.num_slots;
+            let owner = self.slot_to_line[slot as usize].load(Ordering::Acquire);
+            if owner == SLOT_CLAIMED {
+                continue;
+            }
+            if owner == 0 {
+                // Empty slot: claim it.
+                if self.slot_to_line[slot as usize]
+                    .compare_exchange(0, SLOT_CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Ok(slot);
+                }
+                continue;
+            }
+            let victim_line = owner - 1;
+            let vstate = &self.line_state[victim_line as usize];
+            let cur = vstate.load(Ordering::Acquire);
+            if state_of(cur) != STATE_VALID || refs_of(cur) != 0 || slot_of(cur) != slot {
+                continue; // pinned, busy, or stale mapping — advance the hand
+            }
+            // Lock the victim line while we (possibly) write it back, so a
+            // concurrent re-fetch of the victim cannot read stale media.
+            let busy = pack(STATE_BUSY, false, 0, 0);
+            if vstate.compare_exchange(cur, busy, Ordering::AcqRel, Ordering::Acquire).is_err() {
+                continue;
+            }
+            if is_dirty(cur) {
+                self.backing.writeback_line(victim_line, self.slot_addr(slot))?;
+                self.metrics.record_writeback();
+            }
+            vstate.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
+            self.slot_to_line[slot as usize].store(SLOT_CLAIMED, Ordering::Release);
+            self.metrics.record_eviction();
+            return Ok(slot);
+        }
+        Err(BamError::CacheThrashing)
+    }
+
+    /// Writes back every dirty line (the cache is write-back; the paper's API
+    /// exposes exactly this flush, §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store write errors.
+    pub fn flush(&self) -> Result<u64, BamError> {
+        let mut flushed = 0;
+        for line in 0..self.num_lines() {
+            let state = &self.line_state[line as usize];
+            loop {
+                let cur = state.load(Ordering::Acquire);
+                if state_of(cur) != STATE_VALID || !is_dirty(cur) {
+                    break;
+                }
+                // Clear the dirty bit first; a concurrent write re-dirties
+                // and will be caught by a later flush.
+                let cleaned = cur & !DIRTY_BIT;
+                if state
+                    .compare_exchange(cur, cleaned, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.backing.writeback_line(line, self.slot_addr(slot_of(cur)))?;
+                    self.metrics.record_writeback();
+                    flushed += 1;
+                    break;
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Returns `(state, refcount, dirty)` of a line for tests and debugging.
+    pub fn line_debug(&self, line: u64) -> (u8, u64, bool) {
+        let cur = self.line_state[line as usize].load(Ordering::Acquire);
+        (state_of(cur) as u8, refs_of(cur), is_dirty(cur))
+    }
+}
+
+#[inline]
+fn spin(spins: &mut u64) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemoryBacking;
+    use bam_mem::ByteRegion;
+
+    /// 64 lines of 512 bytes in "storage", an 8-slot cache in "GPU memory".
+    fn rig(num_slots: u64) -> (Arc<ByteRegion>, Arc<ByteRegion>, BamCache) {
+        let data = Arc::new(ByteRegion::new(64 * 512));
+        for line in 0..64u64 {
+            data.write_bytes(line * 512, &vec![line as u8; 512]);
+        }
+        let gpu = Arc::new(ByteRegion::new(1 << 20));
+        let backing = Arc::new(MemoryBacking::new(data.clone(), 0, gpu.clone(), 512, 64));
+        let metrics = Arc::new(BamMetrics::new());
+        let cache = BamCache::new(backing, metrics, 0, num_slots);
+        (data, gpu, cache)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (_data, gpu, cache) = rig(8);
+        {
+            let g = cache.acquire(5).unwrap();
+            let mut buf = [0u8; 512];
+            gpu.read_bytes(g.addr(), &mut buf);
+            assert!(buf.iter().all(|&b| b == 5));
+        }
+        // Second access hits.
+        let _g = cache.acquire(5).unwrap();
+        let (state, refs, dirty) = cache.line_debug(5);
+        assert_eq!(state, STATE_VALID as u8);
+        assert_eq!(refs, 1);
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn guard_drop_unpins() {
+        let (_d, _g, cache) = rig(4);
+        let g = cache.acquire(1).unwrap();
+        assert_eq!(cache.line_debug(1).1, 1);
+        drop(g);
+        assert_eq!(cache.line_debug(1).1, 0);
+    }
+
+    #[test]
+    fn eviction_cycles_through_working_set_larger_than_cache() {
+        let (_d, gpu, cache) = rig(4);
+        // Touch 16 distinct lines through a 4-slot cache.
+        for line in 0..16u64 {
+            let g = cache.acquire(line).unwrap();
+            let mut buf = [0u8; 512];
+            gpu.read_bytes(g.addr(), &mut buf);
+            assert!(buf.iter().all(|&b| b == line as u8), "line {line}");
+        }
+    }
+
+    #[test]
+    fn dirty_lines_are_written_back_on_eviction() {
+        let (data, gpu, cache) = rig(2);
+        {
+            let g = cache.acquire(3).unwrap();
+            gpu.write_bytes(g.addr(), &[0xAAu8; 512]);
+            g.mark_dirty();
+        }
+        // Force eviction of line 3 by touching more lines than slots.
+        for line in 10..14u64 {
+            let _ = cache.acquire(line).unwrap();
+        }
+        let mut out = [0u8; 512];
+        data.read_bytes(3 * 512, &mut out);
+        assert!(out.iter().all(|&b| b == 0xAA), "dirty line must reach the backing store");
+    }
+
+    #[test]
+    fn flush_writes_dirty_lines_without_eviction() {
+        let (data, gpu, cache) = rig(8);
+        let g = cache.acquire(7).unwrap();
+        gpu.write_bytes(g.addr(), &[0x55u8; 512]);
+        g.mark_dirty();
+        drop(g);
+        let flushed = cache.flush().unwrap();
+        assert_eq!(flushed, 1);
+        let mut out = [0u8; 512];
+        data.read_bytes(7 * 512, &mut out);
+        assert!(out.iter().all(|&b| b == 0x55));
+        // Second flush has nothing to do.
+        assert_eq!(cache.flush().unwrap(), 0);
+    }
+
+    #[test]
+    fn pinned_lines_are_never_evicted() {
+        let (_d, gpu, cache) = rig(2);
+        let g0 = cache.acquire(0).unwrap();
+        // Stream many other lines through the remaining slot.
+        for line in 1..20u64 {
+            let _ = cache.acquire(line).unwrap();
+        }
+        // Line 0 must still be resident and readable.
+        let mut buf = [0u8; 512];
+        gpu.read_bytes(g0.addr(), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        let (state, refs, _) = cache.line_debug(0);
+        assert_eq!(state, STATE_VALID as u8);
+        assert_eq!(refs, 1);
+    }
+
+    #[test]
+    fn thrashing_is_reported_not_hung() {
+        let (_d, _g, cache) = rig(2);
+        let _g0 = cache.acquire(0).unwrap();
+        let _g1 = cache.acquire(1).unwrap();
+        // Both slots pinned; a third distinct line cannot be inserted.
+        match cache.acquire(2) {
+            Err(BamError::CacheThrashing) => {}
+            other => panic!("expected CacheThrashing, got {other:?}"),
+        }
+        // After the error the line is not stuck busy.
+        let (state, _, _) = cache.line_debug(2);
+        assert_eq!(state, STATE_INVALID as u8);
+    }
+
+    #[test]
+    fn out_of_range_line_rejected() {
+        let (_d, _g, cache) = rig(4);
+        assert!(matches!(cache.acquire(64), Err(BamError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn concurrent_mixed_access_pattern_is_consistent() {
+        let (_d, gpu, cache) = rig(8);
+        let cache = &cache;
+        let gpu = &gpu;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let line = (t * 7 + i * 13) % 64;
+                        let g = cache.acquire(line).unwrap();
+                        let mut buf = [0u8; 512];
+                        gpu.read_bytes(g.addr(), &mut buf);
+                        assert!(
+                            buf.iter().all(|&b| b == line as u8),
+                            "thread {t} line {line} saw corrupt data"
+                        );
+                    }
+                });
+            }
+        });
+        // All references released.
+        for line in 0..64 {
+            assert_eq!(cache.line_debug(line).1, 0, "line {line} still pinned");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the BaM core library.
+
+use bam_nvme_sim::NvmeError;
+
+/// Errors surfaced by the BaM software stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BamError {
+    /// GPU memory was exhausted while building the cache, queues, or buffers.
+    OutOfDeviceMemory {
+        /// Bytes that were requested.
+        requested: u64,
+        /// Bytes that remained available.
+        remaining: u64,
+    },
+    /// The storage namespace is too small for the requested array mapping.
+    OutOfStorageCapacity {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// A storage command completed with an error status.
+    Storage(NvmeError),
+    /// Configuration is inconsistent (for example a cache line size that is
+    /// not a multiple of the device block size).
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The cache could not find an evictable slot: every slot is pinned by a
+    /// concurrently executing thread. This is the "working set larger than
+    /// the cache *and* fully pinned" condition; the paper avoids it by
+    /// construction (threads pin at most one line at a time).
+    CacheThrashing,
+    /// An index was outside the bounds of a [`crate::BamArray`].
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u64,
+        /// The array length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for BamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BamError::OutOfDeviceMemory { requested, remaining } => write!(
+                f,
+                "gpu memory exhausted: requested {requested} bytes with {remaining} remaining"
+            ),
+            BamError::OutOfStorageCapacity { requested, available } => write!(
+                f,
+                "storage namespace exhausted: requested {requested} bytes with {available} available"
+            ),
+            BamError::Storage(e) => write!(f, "storage error: {e}"),
+            BamError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            BamError::CacheThrashing => {
+                write!(f, "cache thrashing: every cache slot is pinned by a concurrent thread")
+            }
+            BamError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BamError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmeError> for BamError {
+    fn from(e: NvmeError) -> Self {
+        BamError::Storage(e)
+    }
+}
+
+impl From<bam_mem::AllocError> for BamError {
+    fn from(e: bam_mem::AllocError) -> Self {
+        BamError::OutOfDeviceMemory { requested: e.requested, remaining: e.remaining }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = BamError::Storage(NvmeError::UnknownQueue { queue_id: 3 });
+        assert!(e.to_string().contains("storage error"));
+        assert!(e.source().is_some());
+        let e2 = BamError::CacheThrashing;
+        assert!(e2.source().is_none());
+        assert!(e2.to_string().contains("pinned"));
+    }
+
+    #[test]
+    fn conversions() {
+        let alloc_err = bam_mem::AllocError { requested: 10, remaining: 5 };
+        let b: BamError = alloc_err.into();
+        assert!(matches!(b, BamError::OutOfDeviceMemory { requested: 10, remaining: 5 }));
+        let n: BamError = NvmeError::UnknownQueue { queue_id: 1 }.into();
+        assert!(matches!(n, BamError::Storage(_)));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BamError>();
+    }
+}

@@ -1,0 +1,407 @@
+//! System construction: wires GPU memory, the SSD array, the BaM queues, and
+//! the software cache together.
+//!
+//! [`BamSystem::new`] performs everything the prototype's initialization does
+//! (§3.5, §4.1): it allocates the cache, queue rings, and I/O buffers out of
+//! GPU memory once, creates and registers the NVMe queue pairs, and starts
+//! the (simulated) SSD controllers. Applications then carve storage-backed
+//! [`BamArray`]s out of the logical namespace and launch kernels against
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bam_gpu_sim::{GpuMemory, GpuSpec};
+use bam_mem::{DevAddr, Pod};
+use bam_nvme_sim::{DataLayout, SsdArray, StatsSnapshot};
+
+use crate::array::BamArray;
+use crate::backing::CacheBacking;
+use crate::cache::BamCache;
+use crate::config::BamConfig;
+use crate::error::BamError;
+use crate::iostack::IoStack;
+use crate::metrics::{BamMetrics, MetricsSnapshot};
+use crate::queue::BamQueuePair;
+
+/// Number of pre-allocated scratch line buffers used by uncached accesses.
+const SCRATCH_BUFFERS: usize = 64;
+
+/// Shared state behind a [`BamSystem`] and every [`BamArray`] created from it.
+pub(crate) struct SystemInner {
+    pub(crate) config: BamConfig,
+    pub(crate) gpu: GpuMemory,
+    pub(crate) array: Arc<SsdArray>,
+    pub(crate) iostack: Arc<IoStack>,
+    pub(crate) cache: Option<Arc<BamCache>>,
+    pub(crate) metrics: Arc<BamMetrics>,
+    pub(crate) line_bytes: u64,
+    pub(crate) coalescing: bool,
+    scratch: Vec<Mutex<DevAddr>>,
+    scratch_rr: AtomicU64,
+    dataset_cursor: AtomicU64,
+    logical_capacity: u64,
+}
+
+impl std::fmt::Debug for SystemInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemInner")
+            .field("line_bytes", &self.line_bytes)
+            .field("cached", &self.cache.is_some())
+            .field("ssds", &self.array.len())
+            .finish()
+    }
+}
+
+impl SystemInner {
+    /// Runs `f` with a reader over the given cache line's bytes.
+    ///
+    /// With the cache enabled, the line is acquired (pinned) for the duration
+    /// of `f`; in uncached mode the line is read into a scratch buffer first
+    /// (every call is a storage request — the Fig 8 "no cache" configuration).
+    pub(crate) fn with_line<R>(
+        &self,
+        line: u64,
+        f: impl FnOnce(&dyn Fn(u64, usize) -> Vec<u8>) -> R,
+    ) -> Result<R, BamError> {
+        let region = self.gpu.region();
+        if let Some(cache) = &self.cache {
+            let guard = cache.acquire(line)?;
+            let base = guard.addr();
+            let read_at = move |offset: u64, size: usize| {
+                let mut buf = vec![0u8; size];
+                region.read_bytes(base + offset, &mut buf);
+                buf
+            };
+            Ok(f(&read_at))
+        } else {
+            let (_slot_guard, addr) = self.lock_scratch();
+            self.iostack.read_line(line, addr)?;
+            let read_at = move |offset: u64, size: usize| {
+                let mut buf = vec![0u8; size];
+                region.read_bytes(addr + offset, &mut buf);
+                buf
+            };
+            Ok(f(&read_at))
+        }
+    }
+
+    /// Reads `size` bytes at `offset` within `line`.
+    pub(crate) fn read_element(
+        &self,
+        line: u64,
+        offset: u64,
+        size: usize,
+    ) -> Result<Vec<u8>, BamError> {
+        self.with_line(line, |read_at| read_at(offset, size))
+    }
+
+    /// Writes `bytes` at `offset` within `line` (write-back through the
+    /// cache, or a read-modify-write of the whole line in uncached mode).
+    pub(crate) fn write_element(&self, line: u64, offset: u64, bytes: &[u8]) -> Result<(), BamError> {
+        self.write_line_range(line, offset, bytes)
+    }
+
+    /// Writes an arbitrary byte range within one line.
+    pub(crate) fn write_line_range(
+        &self,
+        line: u64,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<(), BamError> {
+        assert!(
+            offset + bytes.len() as u64 <= self.line_bytes,
+            "write crosses a cache-line boundary"
+        );
+        let region = self.gpu.region();
+        if let Some(cache) = &self.cache {
+            let guard = cache.acquire(line)?;
+            region.write_bytes(guard.addr() + offset, bytes);
+            guard.mark_dirty();
+            Ok(())
+        } else {
+            let (_slot_guard, addr) = self.lock_scratch();
+            // A full-line write needs no read-modify-write.
+            if !(offset == 0 && bytes.len() as u64 == self.line_bytes) {
+                self.iostack.read_line(line, addr)?;
+            }
+            region.write_bytes(addr + offset, bytes);
+            self.iostack.write_line(line, addr)
+        }
+    }
+
+    /// Preloads raw bytes onto the SSD media at a logical byte offset.
+    pub(crate) fn preload_bytes(&self, offset: u64, bytes: &[u8]) -> Result<(), BamError> {
+        self.array.preload(offset, bytes).map_err(BamError::from)
+    }
+
+    fn lock_scratch(&self) -> (parking_lot::MutexGuard<'_, DevAddr>, DevAddr) {
+        let idx = self.scratch_rr.fetch_add(1, Ordering::Relaxed) as usize % self.scratch.len();
+        let guard = self.scratch[idx].lock();
+        let addr = *guard;
+        (guard, addr)
+    }
+}
+
+/// A fully wired BaM system instance.
+///
+/// # Examples
+///
+/// ```
+/// use bam_core::{BamConfig, BamSystem};
+///
+/// # fn main() -> Result<(), bam_core::BamError> {
+/// let system = BamSystem::new(BamConfig::test_scale())?;
+/// let array = system.create_array::<u64>(1024)?;
+/// array.preload(&(0..1024).collect::<Vec<u64>>())?;
+/// assert_eq!(array.read(42)?, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BamSystem {
+    inner: Arc<SystemInner>,
+}
+
+impl BamSystem {
+    /// Builds a system from `config`: allocates GPU memory, creates the SSD
+    /// array and its queue pairs, starts the controllers, and builds the
+    /// software cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::InvalidConfig`] for inconsistent configurations or
+    /// [`BamError::OutOfDeviceMemory`] if the cache/queues/buffers do not fit
+    /// in the configured GPU memory.
+    pub fn new(config: BamConfig) -> Result<Self, BamError> {
+        config.validate()?;
+        let gpu = GpuMemory::new(GpuSpec::a100_80gb(), config.gpu_memory_bytes as usize);
+        let mut ssd_array = SsdArray::new(
+            config.ssd_spec.clone(),
+            config.num_ssds,
+            gpu.region(),
+            config.ssd_capacity_bytes,
+            config.layout,
+        );
+        ssd_array.start();
+        let ssd_array = Arc::new(ssd_array);
+
+        // Queue pairs live in GPU memory (§4.1).
+        let raw_queues = ssd_array.create_queues(
+            gpu.allocator(),
+            config.queue_pairs_per_ssd as usize,
+            config.queue_depth,
+        )?;
+        let queues: Vec<Vec<Arc<BamQueuePair>>> = raw_queues
+            .into_iter()
+            .map(|per_dev| per_dev.into_iter().map(|q| Arc::new(BamQueuePair::new(q))).collect())
+            .collect();
+
+        let metrics = Arc::new(BamMetrics::new());
+        let logical_capacity = match config.layout {
+            DataLayout::Replicated => config.ssd_capacity_bytes,
+            DataLayout::Striped { .. } => config.ssd_capacity_bytes * config.num_ssds as u64,
+        };
+        let num_lines = logical_capacity / config.cache_line_bytes;
+        let iostack = Arc::new(IoStack::new(
+            ssd_array.clone(),
+            queues,
+            config.cache_line_bytes,
+            num_lines,
+            metrics.clone(),
+        ));
+
+        let cache = if config.use_cache {
+            let slots = config.cache_slots();
+            let slots_base = gpu.alloc(slots * config.cache_line_bytes, config.cache_line_bytes)?;
+            let backing: Arc<dyn CacheBacking> = iostack.clone();
+            Some(Arc::new(BamCache::new(backing, metrics.clone(), slots_base, slots)))
+        } else {
+            None
+        };
+
+        // Scratch line buffers for uncached accesses and flushes.
+        let mut scratch = Vec::with_capacity(SCRATCH_BUFFERS);
+        for _ in 0..SCRATCH_BUFFERS {
+            let addr = gpu.alloc(config.cache_line_bytes, config.cache_line_bytes)?;
+            scratch.push(Mutex::new(addr));
+        }
+
+        let line_bytes = config.cache_line_bytes;
+        let coalescing = config.warp_coalescing;
+        Ok(Self {
+            inner: Arc::new(SystemInner {
+                config,
+                gpu,
+                array: ssd_array,
+                iostack,
+                cache,
+                metrics,
+                line_bytes,
+                coalescing,
+                scratch,
+                scratch_rr: AtomicU64::new(0),
+                dataset_cursor: AtomicU64::new(0),
+                logical_capacity,
+            }),
+        })
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &BamConfig {
+        &self.inner.config
+    }
+
+    /// The simulated GPU memory (for allocating kernel-private state).
+    pub fn gpu_memory(&self) -> &GpuMemory {
+        &self.inner.gpu
+    }
+
+    /// Maps a new storage-backed array of `len` elements of `T`.
+    ///
+    /// The array is placed on a fresh cache-line-aligned extent of the
+    /// logical namespace, so distinct arrays never share cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::OutOfStorageCapacity`] when the namespace is
+    /// exhausted, or [`BamError::InvalidConfig`] if the element size does not
+    /// divide the cache line size.
+    pub fn create_array<T: Pod>(&self, len: u64) -> Result<BamArray<T>, BamError> {
+        if self.inner.line_bytes % T::SIZE as u64 != 0 {
+            return Err(BamError::InvalidConfig {
+                reason: format!(
+                    "element size {} does not divide the cache line size {}",
+                    T::SIZE,
+                    self.inner.line_bytes
+                ),
+            });
+        }
+        let bytes = len * T::SIZE as u64;
+        let reserved = bytes.next_multiple_of(self.inner.line_bytes);
+        let offset = self.inner.dataset_cursor.fetch_add(reserved, Ordering::AcqRel);
+        if offset + bytes > self.inner.logical_capacity {
+            return Err(BamError::OutOfStorageCapacity {
+                requested: bytes,
+                available: self.inner.logical_capacity.saturating_sub(offset),
+            });
+        }
+        Ok(BamArray::new(self.inner.clone(), offset, len))
+    }
+
+    /// A snapshot of the BaM software metrics (cache and I/O counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Resets the software metrics (between experiment phases).
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.reset();
+    }
+
+    /// Per-SSD controller statistics.
+    pub fn ssd_stats(&self) -> Vec<StatsSnapshot> {
+        self.inner.array.stats()
+    }
+
+    /// Total NVMe commands submitted through the BaM queues.
+    pub fn total_submissions(&self) -> u64 {
+        self.inner.iostack.total_submissions()
+    }
+
+    /// Total SQ doorbell MMIO writes (a measure of doorbell coalescing).
+    pub fn total_doorbell_writes(&self) -> u64 {
+        self.inner.iostack.total_doorbell_writes()
+    }
+
+    /// Writes every dirty cache line back to storage. Returns the number of
+    /// lines flushed (zero in uncached mode, where writes are write-through).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn flush(&self) -> Result<u64, BamError> {
+        match &self.inner.cache {
+            Some(cache) => cache.flush(),
+            None => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_builds_with_paper_shaped_config() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        assert_eq!(sys.config().num_ssds, 2);
+        assert_eq!(sys.ssd_stats().len(), 2);
+        assert_eq!(sys.metrics(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = BamConfig::test_scale();
+        cfg.cache_line_bytes = 100;
+        assert!(matches!(BamSystem::new(cfg), Err(BamError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn arrays_are_line_aligned_and_disjoint() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let a = sys.create_array::<u8>(100).unwrap();
+        let b = sys.create_array::<u8>(100).unwrap();
+        assert_eq!(a.base_offset() % 512, 0);
+        assert_eq!(b.base_offset() % 512, 0);
+        assert!(b.base_offset() >= a.base_offset() + 512);
+    }
+
+    #[test]
+    fn storage_capacity_is_enforced() {
+        let mut cfg = BamConfig::test_scale();
+        cfg.ssd_capacity_bytes = 1 << 20;
+        let sys = BamSystem::new(cfg).unwrap();
+        // 1 MiB namespace cannot hold a 2 MiB array.
+        assert!(matches!(
+            sys.create_array::<u64>(256 * 1024),
+            Err(BamError::OutOfStorageCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_moves_dirty_data_to_media() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let arr = sys.create_array::<u64>(64).unwrap();
+        arr.preload(&vec![0u64; 64]).unwrap();
+        arr.write(3, 77).unwrap();
+        let flushed = sys.flush().unwrap();
+        assert!(flushed >= 1);
+        // After a flush the data is on every replica.
+        let m = sys.metrics();
+        assert!(m.write_requests >= 1);
+    }
+
+    #[test]
+    fn element_size_must_divide_line_size() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        // u8/u16/u32/u64/f32/f64 all divide 512; everything supported works.
+        assert!(sys.create_array::<u8>(8).is_ok());
+        assert!(sys.create_array::<f64>(8).is_ok());
+    }
+
+    #[test]
+    fn doorbell_and_submission_counters_exposed() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let arr = sys.create_array::<u64>(1024).unwrap();
+        arr.preload(&(0..1024u64).collect::<Vec<_>>()).unwrap();
+        for i in (0..1024u64).step_by(64) {
+            arr.read(i).unwrap();
+        }
+        assert!(sys.total_submissions() > 0);
+        assert!(sys.total_doorbell_writes() > 0);
+        assert!(sys.total_doorbell_writes() <= sys.total_submissions());
+    }
+}

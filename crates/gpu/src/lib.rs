@@ -1,0 +1,35 @@
+//! # bam-gpu-sim — GPU execution model
+//!
+//! BaM's central claim is that the GPU's massive thread-level parallelism can
+//! drive storage directly: tens of thousands of GPU threads concurrently
+//! probe a software cache, enqueue NVMe commands, ring doorbells, and poll
+//! completions. To exercise those data structures with real concurrency,
+//! this crate provides a warp-level execution model:
+//!
+//! * [`spec::GpuSpec`] — the A100-80GB resource envelope (Table 1).
+//! * [`memory::GpuMemory`] — simulated device memory (a
+//!   [`bam_mem::ByteRegion`] plus a setup-time allocator), shared with the
+//!   simulated SSD controllers exactly as GPUDirect RDMA shares real HBM.
+//! * [`warp`] — warp-wide primitives (`match_any`, `shfl`, `ballot`,
+//!   leader election) mirroring the CUDA primitives BaM's coalescer uses
+//!   (`__match_any_sync`, `__shfl_sync`, §3.4).
+//! * [`exec::GpuExecutor`] — a kernel launcher that runs warps of 32 lanes
+//!   across a pool of worker threads. Kernels are written per-warp, the same
+//!   granularity at which BaM's coalescer operates.
+//! * [`occupancy`] — per-thread register accounting used to reproduce the
+//!   Figure 13 resource-usage discussion.
+//!
+//! The executor provides *functional* concurrency (real interleavings on
+//! real atomics); simulated time is derived separately by `bam-timing`.
+
+pub mod exec;
+pub mod memory;
+pub mod occupancy;
+pub mod spec;
+pub mod warp;
+
+pub use exec::{GpuExecutor, KernelStats, WarpCtx};
+pub use memory::GpuMemory;
+pub use occupancy::{OccupancyModel, RegisterUsage};
+pub use spec::GpuSpec;
+pub use warp::{ballot, elect_leader, match_any, shfl, WARP_SIZE};

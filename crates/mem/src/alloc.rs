@@ -1,0 +1,162 @@
+//! A bump allocator over a device address space.
+//!
+//! The BaM paper pre-allocates all virtual and physical memory needed by the
+//! software cache, queues, and I/O buffers at application start (§3.4), which
+//! is what lets it avoid OS-style allocation critical sections at run time.
+//! The simulation mirrors that: a monotonic bump allocator hands out device
+//! address ranges once at setup, and nothing is ever freed until the whole
+//! region is dropped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::DevAddr;
+
+/// Error returned when an allocation does not fit in the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes requested (after alignment padding).
+    pub requested: u64,
+    /// Bytes remaining in the region at the time of the request.
+    pub remaining: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device allocation of {} bytes failed, only {} bytes remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A monotonic (never-freeing) allocator over a device address space.
+///
+/// Thread-safe: concurrent allocations are serialized with a single atomic
+/// `fetch_update`, mirroring how a setup-time allocator would behave.
+///
+/// # Examples
+///
+/// ```
+/// use bam_mem::BumpAllocator;
+/// let alloc = BumpAllocator::new(1 << 20);
+/// let a = alloc.alloc(100, 64).unwrap();
+/// assert_eq!(a % 64, 0);
+/// ```
+#[derive(Debug)]
+pub struct BumpAllocator {
+    capacity: u64,
+    cursor: AtomicU64,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, cursor: AtomicU64::new(0) }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes already allocated (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed).min(self.capacity)
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Allocates `size` bytes aligned to `align` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the allocation does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn alloc(&self, size: u64, align: u64) -> Result<DevAddr, AllocError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut result = 0u64;
+        let outcome = self.cursor.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            let aligned = cur.next_multiple_of(align);
+            let end = aligned.checked_add(size)?;
+            if end > self.capacity {
+                return None;
+            }
+            result = aligned;
+            Some(end)
+        });
+        match outcome {
+            Ok(_) => Ok(result),
+            Err(cur) => Err(AllocError { requested: size, remaining: self.capacity.saturating_sub(cur) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn alignment_respected() {
+        let a = BumpAllocator::new(4096);
+        let x = a.alloc(3, 1).unwrap();
+        let y = a.alloc(8, 256).unwrap();
+        assert_eq!(y % 256, 0);
+        assert!(y >= x + 3);
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let a = BumpAllocator::new(128);
+        a.alloc(100, 8).unwrap();
+        let err = a.alloc(64, 8).unwrap_err();
+        assert_eq!(err.requested, 64);
+        assert!(err.remaining < 64);
+        assert!(err.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn concurrent_allocations_do_not_overlap() {
+        let a = Arc::new(BumpAllocator::new(1 << 20));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(thread::spawn(move || {
+                let mut mine = Vec::new();
+                for _ in 0..100 {
+                    mine.push(a.alloc(64, 64).unwrap());
+                }
+                mine
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for addr in h.join().unwrap() {
+                assert!(all.insert(addr), "duplicate allocation at {addr}");
+                assert_eq!(addr % 64, 0);
+            }
+        }
+        assert_eq!(all.len(), 800);
+    }
+
+    #[test]
+    fn accounting() {
+        let a = BumpAllocator::new(1000);
+        assert_eq!(a.capacity(), 1000);
+        assert_eq!(a.remaining(), 1000);
+        a.alloc(100, 1).unwrap();
+        assert_eq!(a.used(), 100);
+        assert_eq!(a.remaining(), 900);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the NVMe simulator.
+
+use crate::Lba;
+
+/// Errors surfaced by the simulated NVMe device and block store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeError {
+    /// An LBA range exceeded the namespace capacity.
+    LbaOutOfRange {
+        /// Starting LBA of the offending access.
+        slba: Lba,
+        /// Number of blocks requested.
+        nblocks: u64,
+        /// Namespace capacity in blocks.
+        capacity: u64,
+    },
+    /// A buffer length was not a multiple of the block size.
+    UnalignedBuffer {
+        /// Buffer length in bytes.
+        len: usize,
+        /// Device block size in bytes.
+        block_size: usize,
+    },
+    /// A queue pair id was not registered with the controller.
+    UnknownQueue {
+        /// The offending queue id.
+        queue_id: u16,
+    },
+    /// The queue size requested exceeds what the device supports.
+    InvalidQueueSize {
+        /// Requested entries.
+        requested: u32,
+        /// Maximum supported entries.
+        max: u32,
+    },
+    /// The device reported a command failure (propagated from a completion).
+    CommandFailed {
+        /// Command identifier.
+        cid: u16,
+        /// Wire status.
+        status: crate::command::NvmeStatus,
+    },
+}
+
+impl std::fmt::Display for NvmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmeError::LbaOutOfRange { slba, nblocks, capacity } => write!(
+                f,
+                "lba range out of bounds: slba={slba} nblocks={nblocks} capacity={capacity}"
+            ),
+            NvmeError::UnalignedBuffer { len, block_size } => {
+                write!(f, "buffer of {len} bytes is not a multiple of the {block_size}-byte block size")
+            }
+            NvmeError::UnknownQueue { queue_id } => write!(f, "unknown queue pair {queue_id}"),
+            NvmeError::InvalidQueueSize { requested, max } => {
+                write!(f, "queue size {requested} exceeds device maximum {max}")
+            }
+            NvmeError::CommandFailed { cid, status } => {
+                write!(f, "command {cid} failed with status {status:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NvmeError::LbaOutOfRange { slba: 10, nblocks: 2, capacity: 8 };
+        let msg = e.to_string();
+        assert!(msg.contains("slba=10"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        let e2 = NvmeError::UnalignedBuffer { len: 100, block_size: 512 };
+        assert!(e2.to_string().contains("512"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NvmeError>();
+    }
+}

@@ -1,0 +1,241 @@
+//! NVMe submission/completion queue pairs laid out in a shared memory region.
+//!
+//! In the BaM prototype the rings live in GPU memory (pinned and mapped for
+//! the SSD with GPUDirect RDMA) and the doorbells live in the SSD BAR mapped
+//! into the GPU address space (§4.1). Here both sides — GPU threads and the
+//! simulated controller — address the same [`ByteRegion`] and the same
+//! [`Doorbell`] objects.
+
+use std::sync::Arc;
+
+use bam_mem::{BumpAllocator, ByteRegion, DevAddr};
+
+use crate::command::{NvmeCommand, NvmeCompletion, CQ_ENTRY_BYTES, SQ_ENTRY_BYTES};
+use crate::doorbell::Doorbell;
+use crate::error::NvmeError;
+
+/// Identifier of a queue pair on one controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueueId(pub u16);
+
+/// An NVMe I/O queue pair: a submission ring, a completion ring, and their
+/// tail/head doorbells.
+///
+/// `QueuePair` itself is just the shared-memory layout plus raw accessors; it
+/// performs no synchronization. The BaM queue protocol (`bam-core`) layers
+/// the ticket/turn/mark machinery on top of these accessors, and the
+/// controller uses the device-side accessors.
+#[derive(Debug)]
+pub struct QueuePair {
+    /// Queue id on its controller.
+    pub id: QueueId,
+    /// Number of entries in each ring.
+    pub entries: u32,
+    region: Arc<ByteRegion>,
+    sq_base: DevAddr,
+    cq_base: DevAddr,
+    sq_tail_doorbell: Doorbell,
+    cq_head_doorbell: Doorbell,
+}
+
+impl QueuePair {
+    /// Allocates a queue pair's rings out of `region` using `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmeError::InvalidQueueSize`] if `entries` is zero or larger
+    /// than `max_entries`, or an allocation failure mapped to the same error
+    /// if the region is exhausted.
+    pub fn allocate(
+        region: Arc<ByteRegion>,
+        alloc: &BumpAllocator,
+        id: QueueId,
+        entries: u32,
+        max_entries: u32,
+    ) -> Result<Self, NvmeError> {
+        if entries == 0 || entries > max_entries {
+            return Err(NvmeError::InvalidQueueSize { requested: entries, max: max_entries });
+        }
+        let sq_bytes = entries as u64 * SQ_ENTRY_BYTES as u64;
+        let cq_bytes = entries as u64 * CQ_ENTRY_BYTES as u64;
+        let sq_base = alloc
+            .alloc(sq_bytes, 64)
+            .map_err(|_| NvmeError::InvalidQueueSize { requested: entries, max: max_entries })?;
+        let cq_base = alloc
+            .alloc(cq_bytes, 64)
+            .map_err(|_| NvmeError::InvalidQueueSize { requested: entries, max: max_entries })?;
+        // Zero both rings so that phase-bit polling starts from a known state.
+        region.fill(sq_base, sq_bytes as usize, 0);
+        region.fill(cq_base, cq_bytes as usize, 0);
+        Ok(Self {
+            id,
+            entries,
+            region,
+            sq_base,
+            cq_base,
+            sq_tail_doorbell: Doorbell::new(),
+            cq_head_doorbell: Doorbell::new(),
+        })
+    }
+
+    /// Base address of the submission ring in the shared region.
+    pub fn sq_base(&self) -> DevAddr {
+        self.sq_base
+    }
+
+    /// Base address of the completion ring in the shared region.
+    pub fn cq_base(&self) -> DevAddr {
+        self.cq_base
+    }
+
+    /// The shared region the rings live in.
+    pub fn region(&self) -> &Arc<ByteRegion> {
+        &self.region
+    }
+
+    // ---- host/GPU side ----
+
+    /// Writes a command into submission slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= entries`.
+    pub fn write_sq_entry(&self, slot: u32, cmd: &NvmeCommand) {
+        assert!(slot < self.entries, "sq slot {slot} out of range");
+        let addr = self.sq_base + u64::from(slot) * SQ_ENTRY_BYTES as u64;
+        self.region.write_bytes(addr, &cmd.encode());
+    }
+
+    /// Reads the completion entry in slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= entries`.
+    pub fn read_cq_entry(&self, slot: u32) -> NvmeCompletion {
+        assert!(slot < self.entries, "cq slot {slot} out of range");
+        let addr = self.cq_base + u64::from(slot) * CQ_ENTRY_BYTES as u64;
+        let mut buf = [0u8; CQ_ENTRY_BYTES];
+        self.region.read_bytes(addr, &mut buf);
+        NvmeCompletion::decode(&buf)
+    }
+
+    /// Rings the submission-queue tail doorbell with the new tail index.
+    pub fn ring_sq_tail(&self, tail: u32) {
+        self.sq_tail_doorbell.ring(tail);
+    }
+
+    /// Rings the completion-queue head doorbell with the new head index.
+    pub fn ring_cq_head(&self, head: u32) {
+        self.cq_head_doorbell.ring(head);
+    }
+
+    /// Number of MMIO writes made to the SQ tail doorbell (a cost metric).
+    pub fn sq_doorbell_writes(&self) -> u64 {
+        self.sq_tail_doorbell.write_count()
+    }
+
+    /// Number of MMIO writes made to the CQ head doorbell.
+    pub fn cq_doorbell_writes(&self) -> u64 {
+        self.cq_head_doorbell.write_count()
+    }
+
+    // ---- device (controller) side ----
+
+    /// Reads the submission entry in slot `slot` (controller side).
+    ///
+    /// Returns `None` if the slot has never been written with a valid
+    /// command.
+    pub fn read_sq_entry(&self, slot: u32) -> Option<NvmeCommand> {
+        assert!(slot < self.entries, "sq slot {slot} out of range");
+        let addr = self.sq_base + u64::from(slot) * SQ_ENTRY_BYTES as u64;
+        let mut buf = [0u8; SQ_ENTRY_BYTES];
+        self.region.read_bytes(addr, &mut buf);
+        NvmeCommand::decode(&buf)
+    }
+
+    /// Writes a completion entry into slot `slot` (controller side).
+    pub fn write_cq_entry(&self, slot: u32, completion: &NvmeCompletion) {
+        assert!(slot < self.entries, "cq slot {slot} out of range");
+        let addr = self.cq_base + u64::from(slot) * CQ_ENTRY_BYTES as u64;
+        self.region.write_bytes(addr, &completion.encode());
+    }
+
+    /// Controller-side read of the SQ tail doorbell.
+    pub fn sq_tail(&self) -> u32 {
+        self.sq_tail_doorbell.read()
+    }
+
+    /// Controller-side read of the CQ head doorbell.
+    pub fn cq_head(&self) -> u32 {
+        self.cq_head_doorbell.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::NvmeOpcode;
+
+    fn mk_pair(entries: u32) -> QueuePair {
+        let region = Arc::new(ByteRegion::new(1 << 20));
+        let alloc = BumpAllocator::new(region.len() as u64);
+        QueuePair::allocate(region, &alloc, QueueId(1), entries, 1024).unwrap()
+    }
+
+    #[test]
+    fn sq_entry_roundtrip_through_region() {
+        let qp = mk_pair(64);
+        let cmd = NvmeCommand::read(7, 1234, 8, 0x8000);
+        qp.write_sq_entry(63, &cmd);
+        assert_eq!(qp.read_sq_entry(63), Some(cmd));
+        assert_eq!(qp.read_sq_entry(0), None, "unwritten slots decode to None");
+    }
+
+    #[test]
+    fn cq_entry_roundtrip_through_region() {
+        let qp = mk_pair(16);
+        let c = NvmeCompletion {
+            cid: 3,
+            status: crate::command::NvmeStatus::Success,
+            sq_head: 12,
+            phase: true,
+        };
+        qp.write_cq_entry(5, &c);
+        assert_eq!(qp.read_cq_entry(5), c);
+        // Fresh entries decode with phase = false.
+        assert!(!qp.read_cq_entry(0).phase);
+    }
+
+    #[test]
+    fn doorbells_start_at_zero_and_count_writes() {
+        let qp = mk_pair(16);
+        assert_eq!(qp.sq_tail(), 0);
+        assert_eq!(qp.cq_head(), 0);
+        qp.ring_sq_tail(5);
+        qp.ring_sq_tail(9);
+        qp.ring_cq_head(2);
+        assert_eq!(qp.sq_tail(), 9);
+        assert_eq!(qp.cq_head(), 2);
+        assert_eq!(qp.sq_doorbell_writes(), 2);
+        assert_eq!(qp.cq_doorbell_writes(), 1);
+    }
+
+    #[test]
+    fn oversized_queue_rejected() {
+        let region = Arc::new(ByteRegion::new(1 << 20));
+        let alloc = BumpAllocator::new(region.len() as u64);
+        let err = QueuePair::allocate(region, &alloc, QueueId(0), 2048, 1024).unwrap_err();
+        assert!(matches!(err, NvmeError::InvalidQueueSize { requested: 2048, max: 1024 }));
+    }
+
+    #[test]
+    fn distinct_queues_do_not_alias() {
+        let region = Arc::new(ByteRegion::new(1 << 20));
+        let alloc = BumpAllocator::new(region.len() as u64);
+        let q1 = QueuePair::allocate(region.clone(), &alloc, QueueId(1), 32, 1024).unwrap();
+        let q2 = QueuePair::allocate(region, &alloc, QueueId(2), 32, 1024).unwrap();
+        let cmd = NvmeCommand { opcode: NvmeOpcode::Write, cid: 1, slba: 9, nlb: 1, dptr: 0 };
+        q1.write_sq_entry(0, &cmd);
+        assert_eq!(q2.read_sq_entry(0), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! PCIe switch topology of the BaM prototype machine.
+//!
+//! The prototype (Table 1, §4.2) attaches one NVIDIA A100 and up to ten U.2
+//! SSDs to a drawer of an H3 Falcon-4016 PCIe expansion chassis. The chassis
+//! switch provides peer-to-peer paths between the GPU and the SSDs that do
+//! not cross the host root complex, which is what lets the aggregate SSD
+//! bandwidth match the GPU's ×16 link.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkSpec;
+
+/// The kind of device hanging off the switch fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Host CPU root complex.
+    HostCpu,
+    /// A GPU endpoint.
+    Gpu,
+    /// An NVMe SSD endpoint.
+    Ssd,
+    /// A PCIe switch (internal node).
+    Switch,
+}
+
+/// Identifier of a device within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DeviceNode {
+    id: DeviceId,
+    kind: DeviceKind,
+    name: String,
+    /// Link connecting this device up toward its parent (switch or root).
+    uplink: LinkSpec,
+    parent: Option<DeviceId>,
+}
+
+/// A tree-shaped PCIe topology.
+///
+/// The model is deliberately simple: each device has one uplink toward its
+/// parent; the bandwidth of a path between two devices is the minimum
+/// effective bandwidth of the links on the path. That is sufficient to
+/// capture the ceilings that shape Figures 4–6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    devices: Vec<DeviceNode>,
+}
+
+/// Builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    devices: Vec<DeviceNode>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: DeviceKind, name: &str, uplink: LinkSpec, parent: Option<DeviceId>) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(DeviceNode { id, kind, name: name.to_string(), uplink, parent });
+        id
+    }
+
+    /// Adds the host root complex. Must be added first.
+    pub fn host(&mut self, name: &str) -> DeviceId {
+        assert!(self.devices.is_empty(), "host must be the first device");
+        self.push(DeviceKind::HostCpu, name, LinkSpec::gen4_x16(), None)
+    }
+
+    /// Adds a switch under `parent` with the given uplink.
+    pub fn switch(&mut self, name: &str, parent: DeviceId, uplink: LinkSpec) -> DeviceId {
+        self.push(DeviceKind::Switch, name, uplink, Some(parent))
+    }
+
+    /// Adds a GPU under `parent` with the given uplink.
+    pub fn gpu(&mut self, name: &str, parent: DeviceId, uplink: LinkSpec) -> DeviceId {
+        self.push(DeviceKind::Gpu, name, uplink, Some(parent))
+    }
+
+    /// Adds an SSD under `parent` with the given uplink.
+    pub fn ssd(&mut self, name: &str, parent: DeviceId, uplink: LinkSpec) -> DeviceId {
+        self.push(DeviceKind::Ssd, name, uplink, Some(parent))
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no host was added.
+    pub fn build(self) -> Topology {
+        assert!(
+            self.devices.first().map(|d| d.kind) == Some(DeviceKind::HostCpu),
+            "topology must contain a host root complex"
+        );
+        Topology { devices: self.devices }
+    }
+}
+
+impl Topology {
+    /// Builds the BaM prototype topology: one drawer of the expansion chassis
+    /// with an A100 and `num_ssds` SSDs behind the same switch.
+    pub fn bam_prototype(num_ssds: usize) -> Self {
+        let mut b = TopologyBuilder::new();
+        let host = b.host("AMD EPYC 7702 root complex");
+        let drawer = b.switch("Falcon-4016 drawer switch", host, LinkSpec::gen4_x16());
+        b.gpu("NVIDIA A100-80GB", drawer, LinkSpec::gen4_x16());
+        for i in 0..num_ssds {
+            b.ssd(&format!("ssd{i}"), drawer, LinkSpec::gen4_x4());
+        }
+        b.build()
+    }
+
+    /// All device ids of a given kind, in insertion order.
+    pub fn devices_of_kind(&self, kind: DeviceKind) -> Vec<DeviceId> {
+        self.devices.iter().filter(|d| d.kind == kind).map(|d| d.id).collect()
+    }
+
+    /// Human-readable name of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of this topology.
+    pub fn name(&self, id: DeviceId) -> &str {
+        &self.devices[id.0 as usize].name
+    }
+
+    /// The device's uplink spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of this topology.
+    pub fn uplink(&self, id: DeviceId) -> LinkSpec {
+        self.devices[id.0 as usize].uplink
+    }
+
+    fn path_to_root(&self, id: DeviceId) -> Vec<DeviceId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(parent) = self.devices[cur.0 as usize].parent {
+            path.push(parent);
+            cur = parent;
+        }
+        path
+    }
+
+    /// Effective bandwidth (GB/s) of the path between two devices: the
+    /// minimum of the uplinks traversed up to their lowest common ancestor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not part of this topology.
+    pub fn path_bandwidth_gbps(&self, a: DeviceId, b: DeviceId) -> f64 {
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        // Find lowest common ancestor by walking from the root down.
+        let mut lca_depth_from_end = 0;
+        while lca_depth_from_end < pa.len()
+            && lca_depth_from_end < pb.len()
+            && pa[pa.len() - 1 - lca_depth_from_end] == pb[pb.len() - 1 - lca_depth_from_end]
+        {
+            lca_depth_from_end += 1;
+        }
+        assert!(lca_depth_from_end > 0, "devices are not in the same topology");
+        let mut min_bw = f64::INFINITY;
+        for &d in pa.iter().take(pa.len() - lca_depth_from_end) {
+            min_bw = min_bw.min(self.uplink(d).effective_bandwidth_gbps());
+        }
+        for &d in pb.iter().take(pb.len() - lca_depth_from_end) {
+            min_bw = min_bw.min(self.uplink(d).effective_bandwidth_gbps());
+        }
+        if min_bw.is_infinite() {
+            // Same device.
+            self.uplink(a).effective_bandwidth_gbps()
+        } else {
+            min_bw
+        }
+    }
+
+    /// One-way latency (µs) between two devices: the sum of link latencies on
+    /// the path between them.
+    pub fn path_latency_us(&self, a: DeviceId, b: DeviceId) -> f64 {
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        let mut common = 0;
+        while common < pa.len()
+            && common < pb.len()
+            && pa[pa.len() - 1 - common] == pb[pb.len() - 1 - common]
+        {
+            common += 1;
+        }
+        let hops = (pa.len() - common) + (pb.len() - common);
+        let lat_a: f64 = pa.iter().take(pa.len() - common).map(|&d| self.uplink(d).latency_us).sum();
+        let lat_b: f64 = pb.iter().take(pb.len() - common).map(|&d| self.uplink(d).latency_us).sum();
+        if hops == 0 {
+            0.0
+        } else {
+            lat_a + lat_b
+        }
+    }
+
+    /// Aggregate bandwidth (GB/s) from a set of SSDs to the GPU, bounded by
+    /// the GPU's own uplink: the key quantity behind "4 Optane SSDs match the
+    /// ×16 Gen4 link" (§5.2).
+    pub fn aggregate_ssd_to_gpu_gbps(&self, gpu: DeviceId, ssds: &[DeviceId]) -> f64 {
+        let sum: f64 = ssds.iter().map(|&s| self.path_bandwidth_gbps(s, gpu)).sum();
+        sum.min(self.uplink(gpu).effective_bandwidth_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_has_expected_shape() {
+        let t = Topology::bam_prototype(10);
+        assert_eq!(t.devices_of_kind(DeviceKind::Ssd).len(), 10);
+        assert_eq!(t.devices_of_kind(DeviceKind::Gpu).len(), 1);
+        assert_eq!(t.devices_of_kind(DeviceKind::Switch).len(), 1);
+    }
+
+    #[test]
+    fn ssd_to_gpu_path_is_x4_limited() {
+        let t = Topology::bam_prototype(4);
+        let gpu = t.devices_of_kind(DeviceKind::Gpu)[0];
+        let ssd = t.devices_of_kind(DeviceKind::Ssd)[0];
+        let bw = t.path_bandwidth_gbps(ssd, gpu);
+        let x4 = LinkSpec::gen4_x4().effective_bandwidth_gbps();
+        assert!((bw - x4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_caps_at_gpu_link() {
+        let t = Topology::bam_prototype(10);
+        let gpu = t.devices_of_kind(DeviceKind::Gpu)[0];
+        let ssds = t.devices_of_kind(DeviceKind::Ssd);
+        let agg = t.aggregate_ssd_to_gpu_gbps(gpu, &ssds);
+        let x16 = LinkSpec::gen4_x16().effective_bandwidth_gbps();
+        assert!((agg - x16).abs() < 1e-9, "ten x4 SSDs should saturate the x16 GPU link");
+        // With one SSD we are x4 limited.
+        let agg1 = t.aggregate_ssd_to_gpu_gbps(gpu, &ssds[..1]);
+        assert!(agg1 < x16 / 3.0);
+    }
+
+    #[test]
+    fn latency_accumulates_over_hops() {
+        let t = Topology::bam_prototype(2);
+        let gpu = t.devices_of_kind(DeviceKind::Gpu)[0];
+        let ssd = t.devices_of_kind(DeviceKind::Ssd)[0];
+        assert!(t.path_latency_us(ssd, gpu) > 0.0);
+        assert_eq!(t.path_latency_us(gpu, gpu), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "host must be the first device")]
+    fn builder_requires_host_first() {
+        let mut b = TopologyBuilder::new();
+        // Using an invalid parent before adding a host should panic.
+        b.gpu("gpu", DeviceId(0), LinkSpec::gen4_x16());
+        b.host("host");
+    }
+}

@@ -1,0 +1,36 @@
+//! # bam-timing — analytical performance models
+//!
+//! The reproduction separates *function* from *time*: workloads execute
+//! functionally on the simulated GPU/NVMe substrates (real cache state, real
+//! queue protocol, real data movement), and the elapsed time the paper would
+//! have measured is computed analytically from the counts observed during
+//! that execution. This crate holds those analytical models:
+//!
+//! * [`littles`] — Little's-law helpers (§2.2 of the paper).
+//! * [`ssd`] — achievable IOPS/bandwidth of an SSD array given parallelism,
+//!   access size, queue-pair count, and PCIe ceilings.
+//! * [`gpu`] — GPU-side service rates (cache probe cost, hot-cache delivery
+//!   bandwidth).
+//! * [`cpu`] — CPU software-stack rates used by the CPU-centric baselines
+//!   (page-fault handler throughput, per-I/O syscall overhead, kernel-launch
+//!   and synchronization costs).
+//! * [`breakdown`] — the Compute / Cache-API / Storage-I/O decomposition used
+//!   in Figures 7 and 8.
+//! * [`cost`] — the $/GB cost model behind Table 2 and the 21.7× headline.
+//!
+//! All model constants that do not come straight from Table 2 are documented
+//! where they are defined, with the paper measurement they are calibrated to.
+
+pub mod breakdown;
+pub mod cost;
+pub mod cpu;
+pub mod gpu;
+pub mod littles;
+pub mod ssd;
+
+pub use breakdown::ExecutionBreakdown;
+pub use cost::CostModel;
+pub use cpu::CpuStackModel;
+pub use gpu::GpuRateModel;
+pub use littles::{achievable_throughput, required_queue_depth};
+pub use ssd::SsdArrayModel;

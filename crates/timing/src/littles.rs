@@ -1,0 +1,68 @@
+//! Little's-law helpers (paper §2.2).
+//!
+//! The paper sizes its queues with `T × L = Q_d`: to sustain throughput `T`
+//! against average latency `L`, at least `Q_d` requests must be in flight.
+
+/// Queue depth required to sustain `throughput_per_s` operations per second
+/// against a mean latency of `latency_us` microseconds.
+///
+/// # Examples
+///
+/// The paper's worked example: 51 M 512-B accesses/s against Optane's 11 µs
+/// latency needs ≈561 outstanding requests; against the 980pro's 324 µs it
+/// needs ≈16,524.
+///
+/// ```
+/// use bam_timing::required_queue_depth;
+/// let optane = required_queue_depth(51.0e6, 11.0);
+/// let nand = required_queue_depth(51.0e6, 324.0);
+/// assert_eq!(optane, 561);
+/// assert_eq!(nand, 16524);
+/// ```
+pub fn required_queue_depth(throughput_per_s: f64, latency_us: f64) -> u64 {
+    (throughput_per_s * latency_us * 1e-6).round() as u64
+}
+
+/// Throughput achievable with `in_flight` concurrently outstanding requests
+/// against a mean latency of `latency_us`, capped at `peak_per_s`.
+///
+/// This is the inverse reading of Little's law used throughout the timing
+/// models: when an experiment runs too few GPU threads to cover the
+/// bandwidth-latency product, throughput degrades proportionally (the left
+/// side of each curve in Figure 4).
+pub fn achievable_throughput(in_flight: f64, latency_us: f64, peak_per_s: f64) -> f64 {
+    if latency_us <= 0.0 {
+        return peak_per_s;
+    }
+    (in_flight / (latency_us * 1e-6)).min(peak_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_examples() {
+        assert_eq!(required_queue_depth(51e6, 11.0), 561);
+        assert_eq!(required_queue_depth(6.35e6, 11.0), 70);
+        assert_eq!(required_queue_depth(51e6, 324.0), 16524);
+        assert_eq!(required_queue_depth(6.35e6, 324.0), 2057);
+    }
+
+    #[test]
+    fn achievable_throughput_saturates_at_peak() {
+        let peak = 5.1e6;
+        assert_eq!(achievable_throughput(1e9, 11.0, peak), peak);
+        // 56 requests in flight over 11us ≈ 5.1M/s — right at the knee.
+        let knee = achievable_throughput(56.0, 11.0, peak);
+        assert!((knee / peak - 1.0).abs() < 0.01);
+        // Far below the knee, throughput is proportional to parallelism.
+        let half = achievable_throughput(28.0, 11.0, peak);
+        assert!((half / (knee / 2.0) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_latency_means_peak() {
+        assert_eq!(achievable_throughput(1.0, 0.0, 123.0), 123.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The paper's graph workloads store the concatenated neighbour lists
+//! (edge list) of a CSR graph on storage and keep the offsets array resident
+//! (Appendix B.2 describes the layout). This module provides the host-side
+//! CSR structure, used both as the ground truth for validation and as the
+//! source data preloaded onto the simulated SSDs.
+
+/// A graph in CSR form. Node ids are dense `u32`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` with `v`'s neighbours.
+    pub offsets: Vec<u64>,
+    /// Concatenated neighbour lists.
+    pub edges: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list over `num_nodes` nodes.
+    ///
+    /// If `symmetrize` is true, every edge is inserted in both directions
+    /// (required by connected components, which operates on undirected
+    /// graphs). Self-loops are kept; duplicate edges are kept (they occur in
+    /// the real datasets too and only affect constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_nodes`.
+    pub fn from_edge_list(num_nodes: u32, edge_list: &[(u32, u32)], symmetrize: bool) -> Self {
+        let n = num_nodes as usize;
+        let mut degree = vec![0u64; n];
+        for &(u, v) in edge_list {
+            assert!(u < num_nodes && v < num_nodes, "edge ({u},{v}) out of range");
+            degree[u as usize] += 1;
+            if symmetrize {
+                degree[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; offsets[n] as usize];
+        for &(u, v) in edge_list {
+            edges[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            if symmetrize {
+                edges[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self { offsets, edges }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges stored (twice the undirected edge count for
+    /// symmetrized graphs).
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbour list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Size of the edge list in bytes when stored as `u32` values (what goes
+    /// onto the SSDs).
+    pub fn edge_list_bytes(&self) -> u64 {
+        self.num_edges() * 4
+    }
+
+    /// Nodes with at least `min_degree` neighbours — the paper picks BFS
+    /// sources with more than two neighbours.
+    pub fn nodes_with_degree_at_least(&self, min_degree: u64) -> Vec<u32> {
+        (0..self.num_nodes()).filter(|&v| self.degree(v) >= min_degree).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_graph_structure() {
+        // 0-1, 0-2, 1-3 (symmetrized).
+        let g = CsrGraph::from_edge_list(4, &[(0, 1), (0, 2), (1, 3)], true);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1);
+        let mut n0 = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.neighbors(3), &[1]);
+    }
+
+    #[test]
+    fn directed_graph_keeps_direction() {
+        let g = CsrGraph::from_edge_list(3, &[(0, 1), (1, 2)], false);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn degree_filter() {
+        let g = CsrGraph::from_edge_list(4, &[(0, 1), (0, 2), (0, 3)], true);
+        assert_eq!(g.nodes_with_degree_at_least(2), vec![0]);
+        assert_eq!(g.nodes_with_degree_at_least(1).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edge_list(2, &[(0, 5)], false);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic graph generators.
+//!
+//! The paper's datasets (Table 3) cannot be redistributed here, so each is
+//! replaced by a generator reproducing its structural character: GAP-kron is
+//! an R-MAT/Kronecker graph, GAP-urand is uniform-random, Friendster and
+//! MOLIERE are heavy-tailed social/semantic networks (R-MAT with milder
+//! skew), and uk-2007-05 is a web crawl whose many tiny neighbour lists and
+//! deep BFS levels come from strongly skewed degrees plus long chains.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::csr::CsrGraph;
+
+/// Generates a uniform-random (Erdős–Rényi-style) multigraph with
+/// `num_edges` undirected edges.
+pub fn uniform_random(num_nodes: u32, num_edges: u64, seed: u64) -> CsrGraph {
+    assert!(num_nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..num_nodes);
+        let mut v = rng.gen_range(0..num_nodes);
+        if v == u {
+            v = (v + 1) % num_nodes;
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edge_list(num_nodes, &edges, true)
+}
+
+/// R-MAT (Kronecker) generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (skew knob).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The GAP-kron parameters (a=0.57, b=c=0.19).
+    pub fn gap_kron() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Milder skew used for the social-network-like graphs.
+    pub fn social() -> Self {
+        Self { a: 0.45, b: 0.22, c: 0.22 }
+    }
+
+    /// Strong skew producing web-crawl-like degree distributions.
+    pub fn web() -> Self {
+        Self { a: 0.65, b: 0.15, c: 0.15 }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `num_edges` undirected
+/// edges.
+pub fn rmat(scale: u32, num_edges: u64, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale >= 1 && scale < 31, "scale must be in 1..31");
+    let num_nodes = 1u32 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    for _ in 0..num_edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edge_list(num_nodes, &edges, true)
+}
+
+/// Generates a web-crawl-like directed graph: strongly skewed degrees with
+/// long chain structures (producing the deep, small-frontier BFS behaviour
+/// the paper observes on uk-2007-05).
+pub fn web_crawl(num_nodes: u32, num_edges: u64, seed: u64) -> CsrGraph {
+    assert!(num_nodes >= 16, "need at least 16 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges as usize + num_nodes as usize);
+    // A backbone of chains: node i links to i+1 within blocks of 64, giving
+    // many tiny neighbour lists and >100-level BFS depth at realistic sizes.
+    for i in 0..num_nodes - 1 {
+        if i % 64 != 63 {
+            edges.push((i, i + 1));
+        }
+    }
+    // The remaining edges follow a power-law-ish preferential pattern toward
+    // low-numbered "hub" pages, on both endpoints (site-internal link farms).
+    let hubs = (num_nodes / 16).max(1);
+    for _ in 0..num_edges.saturating_sub(edges.len() as u64) {
+        let u = if rng.gen_bool(0.5) { rng.gen_range(0..hubs) } else { rng.gen_range(0..num_nodes) };
+        let v = if rng.gen_bool(0.7) { rng.gen_range(0..hubs) } else { rng.gen_range(0..num_nodes) };
+        edges.push((u, v));
+    }
+    CsrGraph::from_edge_list(num_nodes, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_has_requested_size() {
+        let g = uniform_random(1000, 5000, 1);
+        assert_eq!(g.num_nodes(), 1000);
+        assert_eq!(g.num_edges(), 10_000); // symmetrized
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(uniform_random(500, 2000, 7), uniform_random(500, 2000, 7));
+        assert_ne!(uniform_random(500, 2000, 7), uniform_random(500, 2000, 8));
+        let p = RmatParams::gap_kron();
+        assert_eq!(rmat(10, 4000, p, 3), rmat(10, 4000, p, 3));
+    }
+
+    #[test]
+    fn rmat_is_more_skewed_than_uniform() {
+        let r = rmat(12, 40_000, RmatParams::gap_kron(), 42);
+        let u = uniform_random(1 << 12, 40_000, 42);
+        let max_deg_r = (0..r.num_nodes()).map(|v| r.degree(v)).max().unwrap();
+        let max_deg_u = (0..u.num_nodes()).map(|v| u.degree(v)).max().unwrap();
+        assert!(
+            max_deg_r > max_deg_u * 3,
+            "rmat max degree {max_deg_r} vs uniform {max_deg_u}"
+        );
+    }
+
+    #[test]
+    fn web_crawl_has_many_low_degree_nodes_and_hubs() {
+        let g = web_crawl(4096, 20_000, 5);
+        let low = (0..g.num_nodes()).filter(|&v| g.degree(v) <= 6).count();
+        assert!(low > g.num_nodes() as usize / 2, "low-degree nodes {low}");
+        let max_degree = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_degree > 50, "hub degree {max_degree}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Graph analytics workloads (paper §5.2): datasets, generators, BFS, and
+//! connected components, in host-reference and BaM-backed versions.
+
+pub mod bfs;
+pub mod cc;
+pub mod csr;
+pub mod datasets;
+pub mod generate;
+pub mod storage;
+
+pub use bfs::{bfs_bam, bfs_reference, BfsResult};
+pub use cc::{cc_bam, cc_reference, CcResult};
+pub use csr::CsrGraph;
+pub use datasets::{DatasetDescriptor, DatasetKind};
+pub use generate::{rmat, uniform_random, web_crawl, RmatParams};
+pub use storage::{graph_demand, upload_edge_list};

@@ -1,0 +1,220 @@
+//! Microbenchmarks: raw random-access throughput (Fig 4, §4.3) and the
+//! sequential-granularity sweep BaM side of Fig 5.
+//!
+//! These run *functionally* against the full BaM stack (queues, doorbells,
+//! simulated controllers) with the cache disabled, so every access is a
+//! storage command; the harnesses in `bam-bench` then convert the observed
+//! command counts into IOPS with the calibrated storage envelope.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bam_core::{BamArray, BamConfig, BamError, BamSystem, MetricsSnapshot};
+use bam_gpu_sim::{GpuExecutor, GpuSpec};
+use bam_nvme_sim::SsdSpec;
+
+/// Outcome of a microbenchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroRunResult {
+    /// Requests the GPU threads issued.
+    pub requests: u64,
+    /// Storage commands observed by the controllers.
+    pub commands: u64,
+    /// SQ doorbell MMIO writes.
+    pub doorbell_writes: u64,
+    /// BaM software metrics snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Builds an uncached BaM system for raw-throughput runs: `num_ssds` devices
+/// of `spec`, `queue_pairs` × `queue_depth` queues, `access_bytes` lines.
+///
+/// # Errors
+///
+/// Propagates configuration and allocation errors.
+pub fn build_raw_system(
+    spec: SsdSpec,
+    num_ssds: usize,
+    queue_pairs: u32,
+    queue_depth: u32,
+    access_bytes: u64,
+    capacity_bytes: u64,
+) -> Result<BamSystem, BamError> {
+    let config = BamConfig {
+        cache_line_bytes: access_bytes,
+        cache_bytes: access_bytes, // unused (cache off), keep validation happy
+        num_ssds,
+        ssd_spec: spec,
+        ssd_capacity_bytes: capacity_bytes,
+        queue_pairs_per_ssd: queue_pairs,
+        queue_depth,
+        use_cache: false,
+        gpu_memory_bytes: (capacity_bytes / 2).max(8 << 20),
+        ..BamConfig::default()
+    };
+    BamSystem::new(config)
+}
+
+/// Issues `num_requests` random single-element reads spread over `array`
+/// from `num_threads` GPU threads (Fig 4 read benchmark).
+///
+/// # Errors
+///
+/// Propagates the first storage error hit by any thread.
+pub fn random_read(
+    system: &BamSystem,
+    array: &BamArray<u64>,
+    num_requests: u64,
+    num_threads: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<MicroRunResult, BamError> {
+    run_random(system, array, num_requests, num_threads, workers, seed, false)
+}
+
+/// Issues `num_requests` random single-line writes (Fig 4 write benchmark).
+///
+/// # Errors
+///
+/// Propagates the first storage error hit by any thread.
+pub fn random_write(
+    system: &BamSystem,
+    array: &BamArray<u64>,
+    num_requests: u64,
+    num_threads: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<MicroRunResult, BamError> {
+    run_random(system, array, num_requests, num_threads, workers, seed, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_random(
+    system: &BamSystem,
+    array: &BamArray<u64>,
+    num_requests: u64,
+    num_threads: usize,
+    workers: usize,
+    seed: u64,
+    write: bool,
+) -> Result<MicroRunResult, BamError> {
+    let elems_per_line = system.config().cache_line_bytes / 8;
+    let lines = array.len() / elems_per_line;
+    assert!(lines > 0, "array smaller than one line");
+    let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), workers);
+    let issued = AtomicU64::new(0);
+    let first_error: Mutex<Option<BamError>> = Mutex::new(None);
+    let per_thread = num_requests.div_ceil(num_threads as u64);
+    exec.launch(num_threads, |warp| {
+        for (_lane, tid) in warp.lanes() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
+            for _ in 0..per_thread {
+                if issued.fetch_add(1, Ordering::Relaxed) >= num_requests {
+                    return;
+                }
+                let line = rng.gen_range(0..lines);
+                let result = if write {
+                    // Full-line write: one storage command.
+                    let values = vec![tid as u64; elems_per_line as usize];
+                    array.write_run(line * elems_per_line, &values)
+                } else {
+                    array.read(line * elems_per_line + rng.gen_range(0..elems_per_line)).map(|_| ())
+                };
+                if let Err(e) = result {
+                    first_error.lock().expect("poisoned").get_or_insert(e);
+                    return;
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error.lock().expect("poisoned").take() {
+        return Err(e);
+    }
+    let metrics = system.metrics();
+    Ok(MicroRunResult {
+        requests: num_requests.min(issued.load(Ordering::Relaxed)),
+        commands: system.total_submissions(),
+        doorbell_writes: system.total_doorbell_writes(),
+        metrics,
+    })
+}
+
+/// Sequential transfer through BaM at the given line (I/O) granularity: every
+/// warp reads consecutive cache lines, the BaM side of Fig 5.
+///
+/// # Errors
+///
+/// Propagates the first storage error hit by any thread.
+pub fn sequential_read(
+    system: &BamSystem,
+    array: &BamArray<u64>,
+    total_bytes: u64,
+    workers: usize,
+) -> Result<MicroRunResult, BamError> {
+    let line_bytes = system.config().cache_line_bytes;
+    let elems_per_line = line_bytes / 8;
+    let lines = (total_bytes / line_bytes).min(array.len() / elems_per_line);
+    let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), workers);
+    let first_error: Mutex<Option<BamError>> = Mutex::new(None);
+    exec.launch(lines as usize, |warp| {
+        for (_lane, tid) in warp.lanes() {
+            let start = tid as u64 * elems_per_line;
+            if let Err(e) = array.read_run(start, elems_per_line) {
+                first_error.lock().expect("poisoned").get_or_insert(e);
+            }
+        }
+    });
+    if let Some(e) = first_error.lock().expect("poisoned").take() {
+        return Err(e);
+    }
+    Ok(MicroRunResult {
+        requests: lines,
+        commands: system.total_submissions(),
+        doorbell_writes: system.total_doorbell_writes(),
+        metrics: system.metrics(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> (BamSystem, BamArray<u64>) {
+        let sys = build_raw_system(SsdSpec::intel_optane_p5800x(), 2, 4, 64, 512, 4 << 20)
+            .expect("system");
+        let n = (2 << 20) / 8;
+        let arr = sys.create_array::<u64>(n).unwrap();
+        arr.preload(&(0..n).collect::<Vec<_>>()).unwrap();
+        (sys, arr)
+    }
+
+    #[test]
+    fn random_reads_issue_one_command_per_request() {
+        let (sys, arr) = small_system();
+        let r = random_read(&sys, &arr, 500, 128, 4, 1).unwrap();
+        assert_eq!(r.requests, 500);
+        assert_eq!(r.commands, 500, "uncached 512B reads map 1:1 to NVMe commands");
+        assert!(r.doorbell_writes <= r.commands);
+        assert_eq!(r.metrics.cache_hits, 0);
+    }
+
+    #[test]
+    fn random_writes_issue_one_command_per_request_per_replica() {
+        let (sys, arr) = small_system();
+        let r = random_write(&sys, &arr, 200, 64, 4, 2).unwrap();
+        assert_eq!(r.requests, 200);
+        // Replicated across 2 SSDs: each logical write becomes 2 commands.
+        assert_eq!(r.commands, 400);
+    }
+
+    #[test]
+    fn sequential_read_covers_requested_bytes() {
+        let (sys, arr) = small_system();
+        let r = sequential_read(&sys, &arr, 256 * 1024, 4).unwrap();
+        assert_eq!(r.requests, 512); // 256 KiB / 512 B
+        assert_eq!(r.metrics.read_requests, 512);
+    }
+}

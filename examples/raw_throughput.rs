@@ -1,0 +1,41 @@
+//! Raw random-access throughput through the BaM I/O stack (§4.3, Figure 4):
+//! uncached 512 B random reads and writes against an array of simulated
+//! Optane SSDs, reporting the functional command/doorbell counts and the
+//! throughput the calibrated storage envelope assigns to the same pattern at
+//! full scale.
+//!
+//! Run with: `cargo run --release --example raw_throughput`
+
+use bam::nvme::SsdSpec;
+use bam::timing::SsdArrayModel;
+use bam::workloads::micro::{build_raw_system, random_read, random_write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for num_ssds in [1usize, 2, 4] {
+        let system = build_raw_system(
+            SsdSpec::intel_optane_p5800x(),
+            num_ssds,
+            4,
+            64,
+            512,
+            8 << 20,
+        )?;
+        let n = (4u64 << 20) / 8;
+        let array = system.create_array::<u64>(n)?;
+        array.preload(&(0..n).collect::<Vec<_>>())?;
+
+        let reads = random_read(&system, &array, 2_000, 256, 4, 1)?;
+        let writes = random_write(&system, &array, 500, 128, 4, 2)?;
+        let model = SsdArrayModel::prototype(SsdSpec::intel_optane_p5800x(), num_ssds);
+        println!(
+            "{num_ssds} SSD(s): {} read cmds ({} doorbells), {} write cmds; \
+             full-scale envelope: {:.1}M read IOPS / {:.1}M write IOPS @512B",
+            reads.commands,
+            reads.doorbell_writes,
+            writes.commands,
+            model.read_iops(512, 1 << 22) / 1e6,
+            model.write_iops(512, 1 << 22) / 1e6,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! # bam — facade crate for the BaM (ASPLOS'23) Rust reproduction
+//!
+//! Re-exports the public API of every crate in the workspace so examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! See the workspace `README.md` for an overview and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+pub use bam_baselines as baselines;
+pub use bam_core as core;
+pub use bam_gpu_sim as gpu;
+pub use bam_mem as mem;
+pub use bam_nvme_sim as nvme;
+pub use bam_pcie as pcie;
+pub use bam_timing as timing;
+pub use bam_workloads as workloads;

@@ -1,0 +1,155 @@
+//! Property-based tests of the core invariants, using proptest.
+//!
+//! The properties mirror the guarantees the paper's design relies on:
+//! the queue protocol never loses or corrupts a command under concurrency,
+//! the cache is always coherent with its backing store, and the workload
+//! kernels agree with their host references on arbitrary inputs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use bam::core::{BamConfig, BamSystem};
+use bam::gpu::warp::{ballot, groups, match_any, WARP_SIZE};
+use bam::mem::{BumpAllocator, ByteRegion};
+use bam::nvme::{NvmeCommand, NvmeCompletion, SsdDevice, SsdSpec};
+use bam::workloads::graph::{bfs_bam, bfs_reference, upload_edge_list, CsrGraph};
+use bam::core::BamQueuePair;
+use bam::gpu::{GpuExecutor, GpuSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// NVMe command encode/decode is lossless for every field combination.
+    #[test]
+    fn nvme_command_roundtrip(cid in any::<u16>(), slba in any::<u64>(), nlb in 1u32..1024, dptr in any::<u64>()) {
+        let cmd = NvmeCommand::read(cid, slba, nlb, dptr);
+        prop_assert_eq!(NvmeCommand::decode(&cmd.encode()), Some(cmd));
+        let w = NvmeCommand::write(cid, slba, nlb, dptr);
+        prop_assert_eq!(NvmeCommand::decode(&w.encode()), Some(w));
+    }
+
+    /// Completion entries round-trip including the phase bit.
+    #[test]
+    fn nvme_completion_roundtrip(cid in any::<u16>(), sq_head in any::<u16>(), phase in any::<bool>()) {
+        let c = NvmeCompletion { cid, status: bam::nvme::NvmeStatus::Success, sq_head, phase };
+        prop_assert_eq!(NvmeCompletion::decode(&c.encode()), c);
+    }
+
+    /// match_any partitions the active lanes into disjoint groups that
+    /// exactly cover them, and every group's lanes share a key.
+    #[test]
+    fn warp_match_any_partitions(keys in prop::collection::vec(0u64..8, WARP_SIZE), active in any::<u32>()) {
+        let masks = match_any(&keys, active);
+        let gs = groups(&masks, active);
+        let mut covered: u32 = 0;
+        for (leader, mask) in &gs {
+            prop_assert_eq!(covered & mask, 0, "groups must be disjoint");
+            covered |= mask;
+            for lane in 0..WARP_SIZE {
+                if mask & (1 << lane) != 0 {
+                    prop_assert_eq!(keys[lane], keys[*leader]);
+                    prop_assert!(active & (1 << lane) != 0);
+                }
+            }
+        }
+        prop_assert_eq!(covered, active, "groups must cover all active lanes");
+        // ballot of all-true equals the active mask.
+        prop_assert_eq!(ballot(&[true; WARP_SIZE], active), active);
+    }
+
+    /// CSR construction preserves every edge and the degree sum.
+    #[test]
+    fn csr_preserves_edges(edges in prop::collection::vec((0u32..64, 0u32..64), 1..200)) {
+        let g = CsrGraph::from_edge_list(64, &edges, false);
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        let degree_sum: u64 = (0..64).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, edges.len() as u64);
+        for (u, v) in &edges {
+            prop_assert!(g.neighbors(*u).contains(v), "edge ({u},{v}) lost");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Data written through BamArray and read back (with arbitrary interleaved
+    /// reads) always matches a host-side model of the array.
+    #[test]
+    fn bam_array_matches_host_model(ops in prop::collection::vec((0u64..2_000, any::<u32>(), any::<bool>()), 1..80)) {
+        let system = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let arr = system.create_array::<u32>(2_000).unwrap();
+        let mut model = vec![0u32; 2_000];
+        arr.preload(&model).unwrap();
+        for (idx, value, is_write) in ops {
+            if is_write {
+                arr.write(idx, value).unwrap();
+                model[idx as usize] = value;
+            } else {
+                prop_assert_eq!(arr.read(idx).unwrap(), model[idx as usize]);
+            }
+        }
+        // After a flush, the media holds exactly the model contents.
+        system.flush().unwrap();
+        for (idx, expected) in model.iter().enumerate().step_by(111) {
+            prop_assert_eq!(arr.read(idx as u64).unwrap(), *expected);
+        }
+    }
+
+    /// The queue protocol delivers every command exactly once with correct
+    /// data, for arbitrary block patterns and thread counts.
+    #[test]
+    fn queue_protocol_never_loses_commands(
+        lbas in prop::collection::vec(0u64..512, 8..64),
+        threads in 1usize..6,
+    ) {
+        let region = Arc::new(ByteRegion::new(8 << 20));
+        let alloc = BumpAllocator::new(region.len() as u64);
+        let mut ssd = SsdDevice::new(SsdSpec::intel_optane_p5800x(), region.clone(), 4 << 20);
+        for lba in 0..512u64 {
+            ssd.media().write_blocks(lba, &vec![(lba % 251) as u8; 512]).unwrap();
+        }
+        let qp = Arc::new(BamQueuePair::new(ssd.create_queue_pair(&alloc, 16).unwrap()));
+        ssd.start();
+        let per_thread: Vec<Vec<u64>> =
+            (0..threads).map(|t| lbas.iter().skip(t).step_by(threads).copied().collect()).collect();
+        std::thread::scope(|s| {
+            for chunk in &per_thread {
+                let qp = qp.clone();
+                let region = region.clone();
+                let dst = alloc.alloc(512, 512).unwrap();
+                s.spawn(move || {
+                    for &lba in chunk {
+                        qp.read_and_wait(lba, 1, dst).unwrap();
+                        let mut out = [0u8; 512];
+                        region.read_bytes(dst, &mut out);
+                        assert!(out.iter().all(|&b| b == (lba % 251) as u8), "lba {lba} corrupted");
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(qp.submissions(), lbas.len() as u64);
+        prop_assert!(qp.sq_doorbell_writes() <= lbas.len() as u64);
+    }
+
+    /// BaM BFS agrees with the host reference on arbitrary random graphs.
+    #[test]
+    fn bfs_agrees_with_reference(
+        num_nodes in 8u32..200,
+        extra_edges in prop::collection::vec((0u32..200, 0u32..200), 0..300),
+        source_pick in any::<u32>(),
+    ) {
+        // Keep endpoints in range and add a spanning chain so the graph is connected-ish.
+        let mut edges: Vec<(u32, u32)> = (0..num_nodes - 1).map(|i| (i, i + 1)).collect();
+        edges.extend(extra_edges.into_iter().map(|(u, v)| (u % num_nodes, v % num_nodes)));
+        let graph = CsrGraph::from_edge_list(num_nodes, &edges, true);
+        let source = source_pick % num_nodes;
+        let system = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let bam_edges = upload_edge_list(&system, &graph).unwrap();
+        let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 2);
+        let got = bfs_bam(&graph.offsets, &bam_edges, source, &exec).unwrap();
+        let want = bfs_reference(&graph, source);
+        prop_assert_eq!(got.distances, want.distances);
+        prop_assert_eq!(got.edges_traversed, want.edges_traversed);
+    }
+}
