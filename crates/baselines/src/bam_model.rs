@@ -27,7 +27,12 @@ impl BamPerformanceModel {
     /// Creates a model for an array of `storage` devices accessed at
     /// `line_bytes` granularity by `parallelism` concurrent threads.
     pub fn new(storage: SsdArrayModel, line_bytes: u64, parallelism: u64) -> Self {
-        Self { gpu: GpuRateModel::a100(), storage, line_bytes, parallelism }
+        Self {
+            gpu: GpuRateModel::a100(),
+            storage,
+            line_bytes,
+            parallelism,
+        }
     }
 
     /// Seconds the storage system needs to serve the measured misses and

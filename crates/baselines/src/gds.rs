@@ -25,7 +25,11 @@ pub struct GdsModel {
 impl GdsModel {
     /// The Fig 5 configuration: 4 SSDs, 16 CPU threads driving fio.
     pub fn prototype(storage: SsdArrayModel) -> Self {
-        Self { cpu: CpuStackModel::epyc_host(), storage, gpu_link: LinkSpec::gen4_x16() }
+        Self {
+            cpu: CpuStackModel::epyc_host(),
+            storage,
+            gpu_link: LinkSpec::gen4_x16(),
+        }
     }
 
     /// Seconds to transfer `total_bytes` sequentially at `io_bytes`

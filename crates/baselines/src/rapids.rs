@@ -126,7 +126,12 @@ mod tests {
     /// The paper's taxi-query family: 1.7 B rows, 8-byte metrics, 511 K
     /// selected rows, Q0..Q5 touch 1..6 columns.
     fn taxi_query(columns: u64) -> RapidsQuery {
-        RapidsQuery { rows: 1_700_000_000, value_bytes: 8, columns, selected_rows: 511_000 }
+        RapidsQuery {
+            rows: 1_700_000_000,
+            value_bytes: 8,
+            columns,
+            selected_rows: 511_000,
+        }
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl TargetSystem {
 
     /// End-to-end execution breakdown.
     pub fn evaluate(&self, demand: &AccessDemand) -> ExecutionBreakdown {
-        let load = if self.include_load_time { self.load_time_s(demand) } else { 0.0 };
+        let load = if self.include_load_time {
+            self.load_time_s(demand)
+        } else {
+            0.0
+        };
         // Reported with the storage (load) component exposed, compute-phase
         // time under "compute", and no cache-API component.
         ExecutionBreakdown::serial(self.compute_phase_s(demand), 0.0, load)

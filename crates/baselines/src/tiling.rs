@@ -59,8 +59,7 @@ impl ProactiveTiling {
         if demand.bytes_touched + demand.bytes_written == 0 {
             return 1.0;
         }
-        self.bytes_transferred(demand) as f64
-            / (demand.bytes_touched + demand.bytes_written) as f64
+        self.bytes_transferred(demand) as f64 / (demand.bytes_touched + demand.bytes_written) as f64
     }
 
     /// End-to-end execution breakdown.
@@ -134,7 +133,10 @@ mod tests {
         let mut d = AccessDemand::for_dataset(8 << 30);
         d.compute_ops = 1_000_000;
         let b = t.evaluate(&d);
-        assert!(b.cache_api_s > 0.0, "CPU orchestration charged to the middle component");
+        assert!(
+            b.cache_api_s > 0.0,
+            "CPU orchestration charged to the middle component"
+        );
         assert!(b.total_s() > 0.0);
     }
 }

@@ -20,7 +20,10 @@ fn system(coalescing: bool, cache_kib: u64) -> BamSystem {
 
 fn bench_hit_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache/hit_path");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let sys = system(true, 256);
     let arr = sys.create_array::<u64>(8192).unwrap();
     arr.preload(&(0..8192u64).collect::<Vec<_>>()).unwrap();
@@ -47,7 +50,10 @@ fn bench_hit_path(c: &mut Criterion) {
 
 fn bench_miss_and_eviction(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache/miss_eviction");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     // Cache of 64 KiB streaming over a 2 MiB working set: every run iteration
     // evicts.
     let sys = system(true, 64);
@@ -66,7 +72,10 @@ fn bench_miss_and_eviction(c: &mut Criterion) {
 
 fn bench_coalescing_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache/warp_coalescing");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for coalescing in [true, false] {
         group.bench_with_input(
             BenchmarkId::new("enabled", coalescing),
@@ -91,5 +100,10 @@ fn bench_coalescing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hit_path, bench_miss_and_eviction, bench_coalescing_ablation);
+criterion_group!(
+    benches,
+    bench_hit_path,
+    bench_miss_and_eviction,
+    bench_coalescing_ablation
+);
 criterion_main!(benches);

@@ -17,8 +17,13 @@ const BENCH_SCALE: f64 = 3.0e-6;
 
 fn bench_tables_and_analytic_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/analytic");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
-    group.bench_function("table2", |b| b.iter(|| std::hint::black_box(misc_exp::table2())));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("table2", |b| {
+        b.iter(|| std::hint::black_box(misc_exp::table2()))
+    });
     group.bench_function("table3", |b| {
         b.iter(|| std::hint::black_box(misc_exp::table3(BENCH_SCALE, 1)))
     });
@@ -26,14 +31,14 @@ fn bench_tables_and_analytic_figures(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(micro_exp::figure4(&[1, 4, 10], &[1024, 1 << 20], 0)))
     });
     group.bench_function("fig5_granularity_sweep", |b| {
-        b.iter(|| {
-            std::hint::black_box(micro_exp::figure5(8 << 30, &[4096, 32768, 262_144]))
-        })
+        b.iter(|| std::hint::black_box(micro_exp::figure5(8 << 30, &[4096, 32768, 262_144])))
     });
     group.bench_function("fig6_activepointers", |b| {
         b.iter(|| std::hint::black_box(micro_exp::figure6(&[65_536, 1 << 20], &[512, 4096, 8192])))
     });
-    group.bench_function("fig13_registers", |b| b.iter(|| std::hint::black_box(misc_exp::figure13())));
+    group.bench_function("fig13_registers", |b| {
+        b.iter(|| std::hint::black_box(misc_exp::figure13()))
+    });
     group.bench_function("fig14_rapids_breakdown", |b| {
         b.iter(|| std::hint::black_box(analytics_exp::figure14()))
     });
@@ -42,7 +47,10 @@ fn bench_tables_and_analytic_figures(c: &mut Criterion) {
 
 fn bench_functional_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/functional");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("fig7_graph_end_to_end", |b| {
         b.iter(|| std::hint::black_box(graph_exp::figure7(BENCH_SCALE, 1)))
     });
@@ -70,5 +78,9 @@ fn bench_functional_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tables_and_analytic_figures, bench_functional_figures);
+criterion_group!(
+    benches,
+    bench_tables_and_analytic_figures,
+    bench_functional_figures
+);
 criterion_main!(benches);

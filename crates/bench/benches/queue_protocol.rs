@@ -25,34 +25,46 @@ fn rig(queue_entries: u32) -> Rig {
     let mut ssd = SsdDevice::new(SsdSpec::intel_optane_p5800x(), region.clone(), 16 << 20);
     let raw = ssd.create_queue_pair(&alloc, queue_entries).unwrap();
     ssd.start();
-    Rig { _region: region, alloc, ssd, qp: Arc::new(BamQueuePair::new(raw)) }
+    Rig {
+        _region: region,
+        alloc,
+        ssd,
+        qp: Arc::new(BamQueuePair::new(raw)),
+    }
 }
 
 fn bench_submission(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_protocol/submit_and_wait");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for threads in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            let r = rig(64);
-            let per_thread = 64usize;
-            let bufs: Vec<u64> =
-                (0..threads).map(|_| r.alloc.alloc(512, 512).unwrap()).collect();
-            b.iter(|| {
-                std::thread::scope(|s| {
-                    for t in 0..threads {
-                        let qp = r.qp.clone();
-                        let dst = bufs[t];
-                        s.spawn(move || {
-                            for i in 0..per_thread {
-                                qp.read_and_wait((t * per_thread + i) as u64 % 1024, 1, dst)
-                                    .unwrap();
-                            }
-                        });
-                    }
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let r = rig(64);
+                let per_thread = 64usize;
+                let bufs: Vec<u64> = (0..threads)
+                    .map(|_| r.alloc.alloc(512, 512).unwrap())
+                    .collect();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for (t, &dst) in bufs.iter().enumerate() {
+                            let qp = r.qp.clone();
+                            s.spawn(move || {
+                                for i in 0..per_thread {
+                                    qp.read_and_wait((t * per_thread + i) as u64 % 1024, 1, dst)
+                                        .unwrap();
+                                }
+                            });
+                        }
+                    });
                 });
-            });
-            drop(r.ssd);
-        });
+                drop(r.ssd);
+            },
+        );
     }
     group.finish();
 }

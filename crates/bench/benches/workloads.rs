@@ -17,7 +17,10 @@ fn small_system() -> BamSystem {
 
 fn bench_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads/graph");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let graph = uniform_random(2000, 16_000, 17);
     let sys = small_system();
     let edges = upload_edge_list(&sys, &graph).unwrap();
@@ -33,7 +36,10 @@ fn bench_graph(c: &mut Criterion) {
 
 fn bench_analytics(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads/analytics");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let table = TaxiTable::generate(16_384, 0.01, 3);
     let mut cfg = BamConfig::test_scale();
     cfg.ssd_capacity_bytes = 16 << 20;
@@ -48,7 +54,10 @@ fn bench_analytics(c: &mut Criterion) {
 
 fn bench_vectoradd(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads/vectoradd");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let sys = small_system();
     let (a, b_arr, out) = setup(&sys, 20_000).unwrap();
     let exec = GpuExecutor::with_workers(GpuSpec::a100_80gb(), 4);

@@ -20,7 +20,16 @@ fn main() {
         .collect();
     print_table(
         "Figure 12: NYC-taxi-style queries, RAPIDS (CPU-mem) vs BaM (seconds, full 1.7B-row scale)",
-        &["Query", "RAPIDS", "BaM 1 SSD", "BaM 2 SSD", "BaM 4 SSD", "Speedup(4)", "RAPIDS amp", "BaM amp"],
+        &[
+            "Query",
+            "RAPIDS",
+            "BaM 1 SSD",
+            "BaM 2 SSD",
+            "BaM 4 SSD",
+            "Speedup(4)",
+            "RAPIDS amp",
+            "BaM amp",
+        ],
         &table,
     );
 }

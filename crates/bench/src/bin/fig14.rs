@@ -18,7 +18,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 14: RAPIDS time breakdown and I/O amplification",
-        &["Query", "Row-group init", "Query", "Cleanup", "I/O amplification"],
+        &[
+            "Query",
+            "Row-group init",
+            "Query",
+            "Cleanup",
+            "I/O amplification",
+        ],
         &table,
     );
 }

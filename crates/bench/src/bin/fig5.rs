@@ -2,7 +2,10 @@
 use bam_bench::{micro_exp, print_table};
 
 fn main() {
-    let grans: Vec<u64> = [4, 8, 16, 32, 64, 128, 256].iter().map(|k| k * 1024).collect();
+    let grans: Vec<u64> = [4, 8, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|k| k * 1024)
+        .collect();
     let rows = micro_exp::figure5(128 << 30, &grans);
     let table: Vec<Vec<String>> = rows
         .iter()

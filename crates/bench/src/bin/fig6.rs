@@ -19,7 +19,15 @@ fn main() {
         .collect();
     print_table(
         "Figure 6: BaM (B) vs ActivePointers+GPUfs (AP)",
-        &["Threads", "Line", "Cache", "B GB/s", "AP GB/s", "B miss MIOPS", "AP miss MIOPS"],
+        &[
+            "Threads",
+            "Line",
+            "Cache",
+            "B GB/s",
+            "AP GB/s",
+            "B miss MIOPS",
+            "AP miss MIOPS",
+        ],
         &table,
     );
 }

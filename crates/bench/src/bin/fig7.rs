@@ -11,7 +11,7 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                format!("{}_{}_{}I", r.dataset, if r.num_ssds == 1 { "T/B" } else { "T/B" }, r.num_ssds),
+                format!("{}_T/B_{}I", r.dataset, r.num_ssds),
                 r.workload.label().to_string(),
                 format!("{:.2}", r.target.total_s()),
                 format!("{:.2}", r.bam.total_s()),
@@ -24,7 +24,16 @@ fn main() {
         .collect();
     print_table(
         "Figure 7: graph analytics, Target (T) vs BaM (B), 1 and 4 Intel Optane SSDs (seconds)",
-        &["Config", "Workload", "Target", "BaM", "BaM compute", "BaM cache", "BaM storage", "Speedup"],
+        &[
+            "Config",
+            "Workload",
+            "Target",
+            "BaM",
+            "BaM compute",
+            "BaM cache",
+            "BaM storage",
+            "Speedup",
+        ],
         &table,
     );
 }

@@ -17,7 +17,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 8: no cache -> naive cache -> optimized (seconds, 4 Optane SSDs)",
-        &["Graph", "Workload", "Config", "Time (s)", "I/O amplification"],
+        &[
+            "Graph",
+            "Workload",
+            "Config",
+            "Time (s)",
+            "I/O amplification",
+        ],
         &table,
     );
 }

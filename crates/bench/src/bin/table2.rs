@@ -7,8 +7,16 @@ fn main() {
         .map(|r| {
             vec![
                 r.name,
-                format!("{:.1}M / {:.1}M", r.read_iops_512 / 1e6, r.read_iops_4k / 1e6),
-                format!("{:.2}M / {:.2}M", r.write_iops_512 / 1e6, r.write_iops_4k / 1e6),
+                format!(
+                    "{:.1}M / {:.1}M",
+                    r.read_iops_512 / 1e6,
+                    r.read_iops_4k / 1e6
+                ),
+                format!(
+                    "{:.2}M / {:.2}M",
+                    r.write_iops_512 / 1e6,
+                    r.write_iops_4k / 1e6
+                ),
                 format!("{:.1}", r.latency_us),
                 format!("{:.1}", r.dwpd),
                 format!("{:.2}", r.cost_per_gb),
@@ -18,7 +26,15 @@ fn main() {
         .collect();
     print_table(
         "Table 2: SSD technologies vs DRAM",
-        &["Product", "RD IOPS (512B/4KB)", "WR IOPS (512B/4KB)", "Latency (us)", "DWPD", "$/GB", "Gain"],
+        &[
+            "Product",
+            "RD IOPS (512B/4KB)",
+            "WR IOPS (512B/4KB)",
+            "Latency (us)",
+            "DWPD",
+            "$/GB",
+            "Gain",
+        ],
         &rows,
     );
 }

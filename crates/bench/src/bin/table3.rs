@@ -18,7 +18,14 @@ fn main() {
         .collect();
     print_table(
         "Table 3: graph datasets (original -> generated at functional scale)",
-        &["Graph", "Nodes", "Edges", "Size (GB)", "Gen. nodes", "Gen. edges"],
+        &[
+            "Graph",
+            "Nodes",
+            "Edges",
+            "Size (GB)",
+            "Gen. nodes",
+            "Gen. edges",
+        ],
         &rows,
     );
 }

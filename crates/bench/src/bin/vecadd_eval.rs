@@ -6,5 +6,8 @@ fn main() {
     println!("=== Section 5.4: vectorAdd (two 4B-element inputs, one output) ===");
     println!("proactive tiling baseline : {:.2} s", e.tiling_seconds);
     println!("BaM                       : {:.2} s", e.bam_seconds);
-    println!("BaM slowdown              : {:.2}x (paper reports 1.51x)", e.bam_slowdown);
+    println!(
+        "BaM slowdown              : {:.2}x (paper reports 1.51x)",
+        e.bam_slowdown
+    );
 }

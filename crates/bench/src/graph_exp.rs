@@ -128,8 +128,9 @@ fn bfs_per_element(
     exec: &GpuExecutor,
 ) -> Result<(u64, u32), BamError> {
     let n = offsets.len() - 1;
-    let distances: Vec<std::sync::atomic::AtomicU32> =
-        (0..n).map(|_| std::sync::atomic::AtomicU32::new(u32::MAX)).collect();
+    let distances: Vec<std::sync::atomic::AtomicU32> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU32::new(u32::MAX))
+        .collect();
     distances[source as usize].store(0, Ordering::Relaxed);
     let edges_traversed = AtomicU64::new(0);
     let first_error: Mutex<Option<BamError>> = Mutex::new(None);
@@ -225,15 +226,21 @@ pub fn measure_graph(
     let source = pick_source(&graph);
     let edges_traversed = match (workload, access) {
         (GraphWorkload::Bfs, AccessConfig::Optimized) => {
-            bfs_bam(&graph.offsets, &edges, source, &exec).expect("bfs").edges_traversed
+            bfs_bam(&graph.offsets, &edges, source, &exec)
+                .expect("bfs")
+                .edges_traversed
         }
         (GraphWorkload::Bfs, _) => {
-            bfs_per_element(&graph.offsets, &edges, source, &exec).expect("bfs").0
+            bfs_per_element(&graph.offsets, &edges, source, &exec)
+                .expect("bfs")
+                .0
         }
         (GraphWorkload::Cc, _) => {
             // CC always uses the run-based kernel; the naive/no-cache variants
             // differ only through the system configuration.
-            cc_bam(&graph.offsets, &edges, &exec).expect("cc").edges_traversed
+            cc_bam(&graph.offsets, &edges, &exec)
+                .expect("cc")
+                .edges_traversed
         }
     };
     GraphMeasurement {
@@ -259,7 +266,10 @@ pub fn bam_breakdown(
         storage = storage.with_queue_pairs(qp);
     }
     let model = BamPerformanceModel::new(storage, FULL_SCALE_LINE, PARALLELISM);
-    model.evaluate(&measurement.full_scale_metrics(), measurement.full_edges_traversed())
+    model.evaluate(
+        &measurement.full_scale_metrics(),
+        measurement.full_edges_traversed(),
+    )
 }
 
 /// Converts a measurement into the Target-system breakdown with `num_ssds`
@@ -341,9 +351,19 @@ pub fn figure8(datasets: &[&str], scale: f64, seed: u64) -> Vec<Fig8Row> {
             if workload == GraphWorkload::Cc && !dataset.used_for_cc() {
                 continue;
             }
-            for access in [AccessConfig::NoCache, AccessConfig::NaiveCache, AccessConfig::Optimized]
-            {
-                let m = measure_graph(&dataset, workload, PAPER_CACHE_FRACTION, scale, access, seed);
+            for access in [
+                AccessConfig::NoCache,
+                AccessConfig::NaiveCache,
+                AccessConfig::Optimized,
+            ] {
+                let m = measure_graph(
+                    &dataset,
+                    workload,
+                    PAPER_CACHE_FRACTION,
+                    scale,
+                    access,
+                    seed,
+                );
                 rows.push(Fig8Row {
                     dataset: dataset.short_name,
                     workload,
@@ -426,12 +446,22 @@ pub fn figure10(scale: f64, seed: u64) -> Vec<Fig10Row> {
         let mut totals = Vec::new();
         for &gb in &capacities_gb {
             let fraction = gb / 30.0;
-            let m =
-                measure_graph(&dataset, workload, fraction, scale, AccessConfig::Optimized, seed);
+            let m = measure_graph(
+                &dataset,
+                workload,
+                fraction,
+                scale,
+                AccessConfig::Optimized,
+                seed,
+            );
             let total = bam_breakdown(&m, SsdSpec::intel_optane_p5800x(), 4, None).total_s();
             totals.push((gb, total, m.metrics.hit_rate()));
         }
-        let baseline = totals.iter().find(|(gb, _, _)| *gb == 8.0).map(|(_, t, _)| *t).unwrap();
+        let baseline = totals
+            .iter()
+            .find(|(gb, _, _)| *gb == 8.0)
+            .map(|(_, t, _)| *t)
+            .unwrap();
         for (gb, total, hit_rate) in totals {
             rows.push(Fig10Row {
                 workload,
@@ -469,11 +499,14 @@ pub fn figure11(scale: f64, seed: u64) -> Vec<Fig11Row> {
             AccessConfig::Optimized,
             seed,
         );
-        let baseline =
-            bam_breakdown(&m, SsdSpec::intel_optane_p5800x(), 4, Some(128)).total_s();
+        let baseline = bam_breakdown(&m, SsdSpec::intel_optane_p5800x(), 4, Some(128)).total_s();
         for &qp in &sweep {
             let total = bam_breakdown(&m, SsdSpec::intel_optane_p5800x(), 4, Some(qp)).total_s();
-            rows.push(Fig11Row { workload, queue_pairs: qp, slowdown: total / baseline });
+            rows.push(Fig11Row {
+                workload,
+                queue_pairs: qp,
+                slowdown: total / baseline,
+            });
         }
     }
     rows
@@ -525,9 +558,7 @@ mod tests {
         for r4 in rows.iter().filter(|r| r.num_ssds == 4) {
             let r1 = rows
                 .iter()
-                .find(|r| {
-                    r.num_ssds == 1 && r.dataset == r4.dataset && r.workload == r4.workload
-                })
+                .find(|r| r.num_ssds == 1 && r.dataset == r4.dataset && r.workload == r4.workload)
                 .unwrap();
             assert!(
                 r1.bam.total_s() >= r4.bam.total_s(),
@@ -552,11 +583,17 @@ mod tests {
             let naive = total(AccessConfig::NaiveCache, w);
             let opt = total(AccessConfig::Optimized, w);
             assert!(none > naive, "{w:?}: cache must help ({none} vs {naive})");
-            assert!(naive >= opt, "{w:?}: optimizations must help ({naive} vs {opt})");
+            assert!(
+                naive >= opt,
+                "{w:?}: optimizations must help ({naive} vs {opt})"
+            );
             assert!(none / opt > 3.0, "{w:?}: end-to-end gain {:.1}", none / opt);
         }
         // No-cache amplification is large (4-byte elements through 512B I/O).
-        let nocache = rows.iter().find(|r| r.config == AccessConfig::NoCache).unwrap();
+        let nocache = rows
+            .iter()
+            .find(|r| r.config == AccessConfig::NoCache)
+            .unwrap();
         assert!(nocache.io_amplification > 10.0);
     }
 
@@ -577,19 +614,29 @@ mod tests {
                 r.s980pro_slowdown
             );
             assert!(r.pm1735_slowdown < r.s980pro_slowdown);
-            assert!(r.pm1735_slowdown < 1.4, "PM1735 close to Optane: {}", r.pm1735_slowdown);
+            assert!(
+                r.pm1735_slowdown < 1.4,
+                "PM1735 close to Optane: {}",
+                r.pm1735_slowdown
+            );
         }
     }
 
     #[test]
     fn figure10_shape_flat_small_caches() {
         let rows = figure10(TEST_SCALE, 4);
-        let bfs: Vec<&Fig10Row> =
-            rows.iter().filter(|r| r.workload == GraphWorkload::Bfs).collect();
+        let bfs: Vec<&Fig10Row> = rows
+            .iter()
+            .filter(|r| r.workload == GraphWorkload::Bfs)
+            .collect();
         let at = |gb: f64| bfs.iter().find(|r| r.cache_gb_equivalent == gb).unwrap();
         // 1 GB performs like 8 GB (the paper sees no degradation; the scaled
         // run tolerates a modest band — see EXPERIMENTS.md).
-        assert!((at(1.0).slowdown - 1.0).abs() < 0.25, "slowdown at 1GB {}", at(1.0).slowdown);
+        assert!(
+            (at(1.0).slowdown - 1.0).abs() < 0.25,
+            "slowdown at 1GB {}",
+            at(1.0).slowdown
+        );
         // A cache larger than the dataset is never slower.
         assert!(at(64.0).slowdown <= at(1.0).slowdown + 0.15);
     }
@@ -597,11 +644,20 @@ mod tests {
     #[test]
     fn figure11_shape_flat_then_degrades() {
         let rows = figure11(TEST_SCALE, 5);
-        let bfs: Vec<&Fig11Row> =
-            rows.iter().filter(|r| r.workload == GraphWorkload::Bfs).collect();
+        let bfs: Vec<&Fig11Row> = rows
+            .iter()
+            .filter(|r| r.workload == GraphWorkload::Bfs)
+            .collect();
         let at = |qp: u32| bfs.iter().find(|r| r.queue_pairs == qp).unwrap();
-        assert!((at(64).slowdown - 1.0).abs() < 0.1, "64 QPs {}", at(64).slowdown);
-        assert!(at(32).slowdown >= at(128).slowdown, "32 QPs must not be faster than 128");
+        assert!(
+            (at(64).slowdown - 1.0).abs() < 0.1,
+            "64 QPs {}",
+            at(64).slowdown
+        );
+        assert!(
+            at(32).slowdown >= at(128).slowdown,
+            "32 QPs must not be faster than 128"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<width$}  ",
+                c,
+                width = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };

@@ -51,7 +51,10 @@ pub fn figure4(
             arr.preload(&vec![7u64; n as usize]).expect("preload");
             let run = micro::random_read(&sys, &arr, functional_requests, 256, 4, 42)
                 .expect("functional run");
-            assert_eq!(run.commands, functional_requests, "1:1 request-to-command mapping");
+            assert_eq!(
+                run.commands, functional_requests,
+                "1:1 request-to-command mapping"
+            );
         }
         let model = SsdArrayModel::prototype(SsdSpec::intel_optane_p5800x(), num_ssds);
         for &requests in request_counts {
@@ -164,12 +167,19 @@ mod tests {
     fn figure4_shape_peak_and_linear_scaling() {
         let rows = figure4(&[1, 4, 10], &[1024, 65_536, 1 << 22], 200);
         let at = |ssds: usize, reqs: u64| {
-            rows.iter().find(|r| r.num_ssds == ssds && r.requests == reqs).copied().unwrap()
+            rows.iter()
+                .find(|r| r.num_ssds == ssds && r.requests == reqs)
+                .copied()
+                .unwrap()
         };
         // §4.3: ~45.8M read / ~10.6M write IOPS with 10 SSDs at full load.
         let ten = at(10, 1 << 22);
         assert!((40.0..52.0).contains(&ten.read_miops), "{}", ten.read_miops);
-        assert!((9.0..12.0).contains(&ten.write_miops), "{}", ten.write_miops);
+        assert!(
+            (9.0..12.0).contains(&ten.write_miops),
+            "{}",
+            ten.write_miops
+        );
         // Linear scaling from 1 to 4 SSDs.
         let one = at(1, 1 << 22);
         let four = at(4, 1 << 22);
@@ -180,11 +190,18 @@ mod tests {
 
     #[test]
     fn figure5_shape_gds_needs_32kb_bam_saturates_at_4kb() {
-        let rows = figure5(32 << 30, &[4096, 8192, 16384, 32768, 65536, 131_072, 262_144]);
+        let rows = figure5(
+            32 << 30,
+            &[4096, 8192, 16384, 32768, 65536, 131_072, 262_144],
+        );
         let at = |g: u64| rows.iter().find(|r| r.io_bytes == g).copied().unwrap();
         assert!(at(4096).gds_utilization < 0.45);
         assert!(at(32768).gds_utilization > 0.8);
-        assert!(at(4096).bam_utilization > 0.9, "{}", at(4096).bam_utilization);
+        assert!(
+            at(4096).bam_utilization > 0.9,
+            "{}",
+            at(4096).bam_utilization
+        );
     }
 
     #[test]

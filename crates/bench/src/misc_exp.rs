@@ -165,9 +165,14 @@ pub fn vectoradd_eval(functional_elements: u64, full_elements: u64) -> VectorAdd
     );
     // BaM exposes the write-back latency (no read/write overlap, §5.4): add
     // the write-back time serially rather than overlapping it.
-    let reads_only = bam_core::MetricsSnapshot { write_requests: 0, ..full_metrics };
+    let reads_only = bam_core::MetricsSnapshot {
+        write_requests: 0,
+        ..full_metrics
+    };
     let read_breakdown = model.evaluate(&reads_only, full_elements);
-    let write_time = model.storage.write_time_s(full_metrics.write_requests, full_line, 1 << 17);
+    let write_time = model
+        .storage
+        .write_time_s(full_metrics.write_requests, full_line, 1 << 17);
     let bam_seconds = read_breakdown.total_s() + write_time;
 
     let demand = vectoradd_demand(full_elements, full_line, 1 << 17);
@@ -222,8 +227,17 @@ mod tests {
         let rows = figure15(4.0e-6, 2);
         assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert!(r.uvm_gbps < r.peak_gbps * 0.75, "{}: uvm {}", r.dataset, r.uvm_gbps);
-            assert!(r.zerocopy_gbps > r.uvm_gbps, "{}: zerocopy must beat uvm", r.dataset);
+            assert!(
+                r.uvm_gbps < r.peak_gbps * 0.75,
+                "{}: uvm {}",
+                r.dataset,
+                r.uvm_gbps
+            );
+            assert!(
+                r.zerocopy_gbps > r.uvm_gbps,
+                "{}: zerocopy must beat uvm",
+                r.dataset
+            );
             assert!(r.zerocopy_gbps <= r.peak_gbps + 1e-9);
         }
     }

@@ -36,9 +36,8 @@ pub fn experiment_config(
     // across concurrently running warps is never slot-starved. Without the
     // floor, per-mille-scale functional runs would thrash on a handful of
     // slots — an artifact of the scaling, not of the design.
-    let cache_bytes =
-        (((dataset_bytes as f64 * cache_fraction) as u64).max(64 * cache_line_bytes))
-            .next_multiple_of(cache_line_bytes);
+    let cache_bytes = (((dataset_bytes as f64 * cache_fraction) as u64).max(64 * cache_line_bytes))
+        .next_multiple_of(cache_line_bytes);
     let ssd_capacity_bytes = (dataset_bytes * 4).max(8 << 20);
     BamConfig {
         cache_line_bytes,

@@ -41,7 +41,12 @@ impl<T: Pod> std::fmt::Debug for BamArray<T> {
 
 impl<T: Pod> BamArray<T> {
     pub(crate) fn new(inner: Arc<SystemInner>, base: u64, len: u64) -> Self {
-        Self { inner, base, len, _marker: std::marker::PhantomData }
+        Self {
+            inner,
+            base,
+            len,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of elements.
@@ -61,7 +66,10 @@ impl<T: Pod> BamArray<T> {
 
     fn check(&self, idx: u64) -> Result<(), BamError> {
         if idx >= self.len {
-            return Err(BamError::IndexOutOfBounds { index: idx, len: self.len });
+            return Err(BamError::IndexOutOfBounds {
+                index: idx,
+                len: self.len,
+            });
         }
         Ok(())
     }
@@ -96,7 +104,9 @@ impl<T: Pod> BamArray<T> {
         self.check(idx)?;
         self.inner.metrics.record_requested_bytes(T::SIZE as u64);
         let (line, offset) = self.line_of(idx);
-        self.inner.read_element(line, offset, T::SIZE).map(|buf| T::from_bytes(&buf))
+        self.inner
+            .read_element(line, offset, T::SIZE)
+            .map(|buf| T::from_bytes(&buf))
     }
 
     /// Writes element `idx` from a single GPU thread. The data goes through
@@ -162,7 +172,9 @@ impl<T: Pod> BamArray<T> {
         for (leader, mask) in groups(&masks, participate) {
             let line = keys[leader];
             let lanes_in_group = mask.count_ones() as u64;
-            self.inner.metrics.record_requested_bytes(T::SIZE as u64 * lanes_in_group);
+            self.inner
+                .metrics
+                .record_requested_bytes(T::SIZE as u64 * lanes_in_group);
             if lanes_in_group > 1 {
                 self.inner.metrics.record_coalesced(lanes_in_group - 1);
             }
@@ -197,7 +209,9 @@ impl<T: Pod> BamArray<T> {
         }
         self.check(start)?;
         self.check(start + count - 1)?;
-        self.inner.metrics.record_requested_bytes(T::SIZE as u64 * count);
+        self.inner
+            .metrics
+            .record_requested_bytes(T::SIZE as u64 * count);
         let mut result = Vec::with_capacity(count as usize);
         let mut idx = start;
         while idx < start + count {
@@ -263,7 +277,9 @@ impl<T: Pod> BamArray<T> {
         let count = values.len() as u64;
         self.check(start)?;
         self.check(start + count - 1)?;
-        self.inner.metrics.record_requested_bytes(T::SIZE as u64 * count);
+        self.inner
+            .metrics
+            .record_requested_bytes(T::SIZE as u64 * count);
         let mut idx = start;
         let mut consumed = 0usize;
         while idx < start + count {
@@ -334,14 +350,18 @@ mod tests {
         assert_eq!(errors.load(std::sync::atomic::Ordering::Relaxed), 0);
         let m = sys.metrics();
         assert!(m.cache_hits + m.cache_misses > 0);
-        assert!(m.coalesced_accesses > 0, "consecutive tids in a warp share cache lines");
+        assert!(
+            m.coalesced_accesses > 0,
+            "consecutive tids in a warp share cache lines"
+        );
     }
 
     #[test]
     fn read_run_reuses_lines() {
         let sys = system();
         let arr = sys.create_array::<u64>(512).unwrap();
-        arr.preload(&(0..512u64).map(|i| i * 7).collect::<Vec<_>>()).unwrap();
+        arr.preload(&(0..512u64).map(|i| i * 7).collect::<Vec<_>>())
+            .unwrap();
         let vals = arr.read_run(10, 200).unwrap();
         assert_eq!(vals.len(), 200);
         for (i, v) in vals.iter().enumerate() {
@@ -378,7 +398,10 @@ mod tests {
             assert_eq!(arr.read(i).unwrap(), i);
         }
         let after = sys.metrics();
-        assert_eq!(after.cache_misses, before.cache_misses, "prefetched window must hit");
+        assert_eq!(
+            after.cache_misses, before.cache_misses,
+            "prefetched window must hit"
+        );
         // Prefetching again fetches nothing new.
         assert_eq!(arr.prefetch(0, 512).unwrap(), 0);
         // Out-of-bounds prefetch is rejected.

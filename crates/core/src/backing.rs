@@ -63,7 +63,13 @@ impl MemoryBacking {
         num_lines: u64,
     ) -> Self {
         assert!(line_bytes > 0, "line size must be non-zero");
-        Self { data, base, gpu, line_bytes, num_lines }
+        Self {
+            data,
+            base,
+            gpu,
+            line_bytes,
+            num_lines,
+        }
     }
 }
 
@@ -78,21 +84,29 @@ impl CacheBacking for MemoryBacking {
 
     fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
         if line >= self.num_lines {
-            return Err(BamError::IndexOutOfBounds { index: line, len: self.num_lines });
+            return Err(BamError::IndexOutOfBounds {
+                index: line,
+                len: self.num_lines,
+            });
         }
         let mut buf = vec![0u8; self.line_bytes as usize];
-        self.data.read_bytes(self.base + line * self.line_bytes, &mut buf);
+        self.data
+            .read_bytes(self.base + line * self.line_bytes, &mut buf);
         self.gpu.write_bytes(dst, &buf);
         Ok(())
     }
 
     fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
         if line >= self.num_lines {
-            return Err(BamError::IndexOutOfBounds { index: line, len: self.num_lines });
+            return Err(BamError::IndexOutOfBounds {
+                index: line,
+                len: self.num_lines,
+            });
         }
         let mut buf = vec![0u8; self.line_bytes as usize];
         self.gpu.read_bytes(src, &mut buf);
-        self.data.write_bytes(self.base + line * self.line_bytes, &buf);
+        self.data
+            .write_bytes(self.base + line * self.line_bytes, &buf);
         Ok(())
     }
 }
@@ -123,7 +137,13 @@ mod tests {
         let data = Arc::new(ByteRegion::new(4096));
         let gpu = Arc::new(ByteRegion::new(4096));
         let b = MemoryBacking::new(data, 0, gpu, 512, 8);
-        assert!(matches!(b.fetch_line(8, 0), Err(BamError::IndexOutOfBounds { .. })));
-        assert!(matches!(b.writeback_line(9, 0), Err(BamError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            b.fetch_line(8, 0),
+            Err(BamError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.writeback_line(9, 0),
+            Err(BamError::IndexOutOfBounds { .. })
+        ));
     }
 }

@@ -101,7 +101,10 @@ impl Drop for LineGuard<'_> {
 
 impl std::fmt::Debug for LineGuard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LineGuard").field("line", &self.line).field("slot", &self.slot).finish()
+        f.debug_struct("LineGuard")
+            .field("line", &self.line)
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 
@@ -149,7 +152,9 @@ impl BamCache {
         let num_lines = backing.num_lines();
         let line_bytes = backing.line_bytes();
         let mut line_state = Vec::with_capacity(num_lines as usize);
-        line_state.resize_with(num_lines as usize, || AtomicU64::new(pack(STATE_INVALID, false, 0, 0)));
+        line_state.resize_with(num_lines as usize, || {
+            AtomicU64::new(pack(STATE_INVALID, false, 0, 0))
+        });
         let mut slot_to_line = Vec::with_capacity(num_slots as usize);
         slot_to_line.resize_with(num_slots as usize, || AtomicU64::new(0));
         Self {
@@ -198,7 +203,10 @@ impl BamCache {
     /// storage error from the fetch.
     pub fn acquire(&self, line: u64) -> Result<LineGuard<'_>, BamError> {
         if line >= self.num_lines() {
-            return Err(BamError::IndexOutOfBounds { index: line, len: self.num_lines() });
+            return Err(BamError::IndexOutOfBounds {
+                index: line,
+                len: self.num_lines(),
+            });
         }
         self.metrics.record_probe();
         let state = &self.line_state[line as usize];
@@ -213,7 +221,11 @@ impl BamCache {
                         .is_ok()
                     {
                         self.metrics.record_hit();
-                        return Ok(LineGuard { cache: self, line, slot: slot_of(cur) });
+                        return Ok(LineGuard {
+                            cache: self,
+                            line,
+                            slot: slot_of(cur),
+                        });
                     }
                 }
                 STATE_BUSY => {
@@ -247,7 +259,11 @@ impl BamCache {
                     }
                     self.slot_to_line[slot as usize].store(line + 1, Ordering::Release);
                     state.store(pack(STATE_VALID, false, 1, slot), Ordering::Release);
-                    return Ok(LineGuard { cache: self, line, slot });
+                    return Ok(LineGuard {
+                        cache: self,
+                        line,
+                        slot,
+                    });
                 }
             }
         }
@@ -255,8 +271,7 @@ impl BamCache {
 
     /// Releases one reference on `line` (used by [`LineGuard::drop`]).
     fn release(&self, line: u64) {
-        let prev =
-            self.line_state[line as usize].fetch_sub(1 << REF_SHIFT, Ordering::AcqRel);
+        let prev = self.line_state[line as usize].fetch_sub(1 << REF_SHIFT, Ordering::AcqRel);
         debug_assert!(refs_of(prev) > 0, "release without a matching acquire");
     }
 
@@ -297,11 +312,15 @@ impl BamCache {
             // Lock the victim line while we (possibly) write it back, so a
             // concurrent re-fetch of the victim cannot read stale media.
             let busy = pack(STATE_BUSY, false, 0, 0);
-            if vstate.compare_exchange(cur, busy, Ordering::AcqRel, Ordering::Acquire).is_err() {
+            if vstate
+                .compare_exchange(cur, busy, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
                 continue;
             }
             if is_dirty(cur) {
-                self.backing.writeback_line(victim_line, self.slot_addr(slot))?;
+                self.backing
+                    .writeback_line(victim_line, self.slot_addr(slot))?;
                 self.metrics.record_writeback();
             }
             vstate.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
@@ -334,7 +353,8 @@ impl BamCache {
                     .compare_exchange(cur, cleaned, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    self.backing.writeback_line(line, self.slot_addr(slot_of(cur)))?;
+                    self.backing
+                        .writeback_line(line, self.slot_addr(slot_of(cur)))?;
                     self.metrics.record_writeback();
                     flushed += 1;
                     break;
@@ -432,7 +452,10 @@ mod tests {
         }
         let mut out = [0u8; 512];
         data.read_bytes(3 * 512, &mut out);
-        assert!(out.iter().all(|&b| b == 0xAA), "dirty line must reach the backing store");
+        assert!(
+            out.iter().all(|&b| b == 0xAA),
+            "dirty line must reach the backing store"
+        );
     }
 
     #[test]
@@ -486,7 +509,10 @@ mod tests {
     #[test]
     fn out_of_range_line_rejected() {
         let (_d, _g, cache) = rig(4);
-        assert!(matches!(cache.acquire(64), Err(BamError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            cache.acquire(64),
+            Err(BamError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -97,7 +97,7 @@ impl BamConfig {
     /// found.
     pub fn validate(&self) -> Result<(), BamError> {
         let fail = |reason: String| Err(BamError::InvalidConfig { reason });
-        if self.cache_line_bytes == 0 || self.cache_line_bytes % BLOCK_SIZE as u64 != 0 {
+        if self.cache_line_bytes == 0 || !self.cache_line_bytes.is_multiple_of(BLOCK_SIZE as u64) {
             return fail(format!(
                 "cache line size {} must be a non-zero multiple of the {BLOCK_SIZE}-byte block",
                 self.cache_line_bytes

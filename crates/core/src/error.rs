@@ -81,7 +81,10 @@ impl From<NvmeError> for BamError {
 
 impl From<bam_mem::AllocError> for BamError {
     fn from(e: bam_mem::AllocError) -> Self {
-        BamError::OutOfDeviceMemory { requested: e.requested, remaining: e.remaining }
+        BamError::OutOfDeviceMemory {
+            requested: e.requested,
+            remaining: e.remaining,
+        }
     }
 }
 
@@ -102,9 +105,18 @@ mod tests {
 
     #[test]
     fn conversions() {
-        let alloc_err = bam_mem::AllocError { requested: 10, remaining: 5 };
+        let alloc_err = bam_mem::AllocError {
+            requested: 10,
+            remaining: 5,
+        };
         let b: BamError = alloc_err.into();
-        assert!(matches!(b, BamError::OutOfDeviceMemory { requested: 10, remaining: 5 }));
+        assert!(matches!(
+            b,
+            BamError::OutOfDeviceMemory {
+                requested: 10,
+                remaining: 5
+            }
+        ));
         let n: BamError = NvmeError::UnknownQueue { queue_id: 1 }.into();
         assert!(matches!(n, BamError::Storage(_)));
     }

@@ -34,7 +34,10 @@ impl std::fmt::Debug for IoStack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IoStack")
             .field("devices", &self.queues.len())
-            .field("queues_per_device", &self.queues.first().map(Vec::len).unwrap_or(0))
+            .field(
+                "queues_per_device",
+                &self.queues.first().map(Vec::len).unwrap_or(0),
+            )
             .field("line_bytes", &self.line_bytes)
             .field("num_lines", &self.num_lines)
             .finish()
@@ -57,9 +60,16 @@ impl IoStack {
         metrics: Arc<BamMetrics>,
     ) -> Self {
         assert!(!queues.is_empty(), "need at least one device");
-        assert!(queues.iter().all(|q| !q.is_empty()), "every device needs at least one queue");
+        assert!(
+            queues.iter().all(|q| !q.is_empty()),
+            "every device needs at least one queue"
+        );
         assert_eq!(queues.len(), array.len(), "one queue group per device");
-        assert_eq!(line_bytes % BLOCK_SIZE as u64, 0, "line size must be whole blocks");
+        assert_eq!(
+            line_bytes % BLOCK_SIZE as u64,
+            0,
+            "line size must be whole blocks"
+        );
         Self {
             array,
             queues,
@@ -83,7 +93,11 @@ impl IoStack {
 
     /// Total SQ doorbell MMIO writes across every queue.
     pub fn total_doorbell_writes(&self) -> u64 {
-        self.queues.iter().flatten().map(|q| q.sq_doorbell_writes()).sum()
+        self.queues
+            .iter()
+            .flatten()
+            .map(|q| q.sq_doorbell_writes())
+            .sum()
     }
 
     /// The SSD array behind this stack.
@@ -99,7 +113,10 @@ impl IoStack {
 
     fn check_line(&self, line: u64) -> Result<(), BamError> {
         if line >= self.num_lines {
-            return Err(BamError::IndexOutOfBounds { index: line, len: self.num_lines });
+            return Err(BamError::IndexOutOfBounds {
+                index: line,
+                len: self.num_lines,
+            });
         }
         Ok(())
     }
@@ -167,19 +184,32 @@ impl CacheBacking for IoStack {
 mod tests {
     use super::*;
     use bam_mem::{BumpAllocator, ByteRegion};
-    use bam_nvme_sim::{SsdSpec, SsdDevice};
+    use bam_nvme_sim::{SsdDevice, SsdSpec};
 
-    fn build(num_ssds: usize, layout: DataLayout) -> (Arc<ByteRegion>, BumpAllocator, Arc<SsdArray>, IoStack) {
+    fn build(
+        num_ssds: usize,
+        layout: DataLayout,
+    ) -> (Arc<ByteRegion>, BumpAllocator, Arc<SsdArray>, IoStack) {
         let region = Arc::new(ByteRegion::new(32 << 20));
         let alloc = BumpAllocator::new(region.len() as u64);
-        let mut array =
-            SsdArray::new(SsdSpec::intel_optane_p5800x(), num_ssds, region.clone(), 8 << 20, layout);
+        let mut array = SsdArray::new(
+            SsdSpec::intel_optane_p5800x(),
+            num_ssds,
+            region.clone(),
+            8 << 20,
+            layout,
+        );
         array.start();
         let array = Arc::new(array);
         let raw_queues = array.create_queues(&alloc, 2, 32).unwrap();
         let queues: Vec<Vec<Arc<BamQueuePair>>> = raw_queues
             .into_iter()
-            .map(|per_dev| per_dev.into_iter().map(|q| Arc::new(BamQueuePair::new(q))).collect())
+            .map(|per_dev| {
+                per_dev
+                    .into_iter()
+                    .map(|q| Arc::new(BamQueuePair::new(q)))
+                    .collect()
+            })
             .collect();
         let metrics = Arc::new(BamMetrics::new());
         let stack = IoStack::new(array.clone(), queues, 1024, 1024, metrics);
@@ -236,8 +266,14 @@ mod tests {
     fn out_of_range_line_rejected() {
         let (_r, alloc, _a, stack) = build(1, DataLayout::Replicated);
         let dst = alloc.alloc(1024, 512).unwrap();
-        assert!(matches!(stack.read_line(1024, dst), Err(BamError::IndexOutOfBounds { .. })));
-        assert!(matches!(stack.write_line(2048, dst), Err(BamError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            stack.read_line(1024, dst),
+            Err(BamError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            stack.write_line(2048, dst),
+            Err(BamError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl BamMetrics {
     }
 
     pub(crate) fn record_coalesced(&self, lanes_saved: u64) {
-        self.coalesced_accesses.fetch_add(lanes_saved, Ordering::Relaxed);
+        self.coalesced_accesses
+            .fetch_add(lanes_saved, Ordering::Relaxed);
     }
 
     pub(crate) fn record_reuse(&self) {

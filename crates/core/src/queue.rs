@@ -121,7 +121,10 @@ impl BamQueuePair {
             sq_marks: MarkBits::new(entries),
             sq_lock: Mutex::new(SqTail { tail: 0 }),
             cq_marks: MarkBits::new(entries),
-            cq_lock: Mutex::new(CqState { head_total: 0, sq_head: 0 }),
+            cq_lock: Mutex::new(CqState {
+                head_total: 0,
+                sq_head: 0,
+            }),
             cq_head_total: AtomicU64::new(0),
         }
     }
@@ -294,7 +297,8 @@ impl BamQueuePair {
                 if head != st.head_total {
                     st.head_total = head;
                     self.cq_head_total.store(head, Ordering::Release);
-                    self.qp.ring_cq_head((head % u64::from(self.entries)) as u32);
+                    self.qp
+                        .ring_cq_head((head % u64::from(self.entries)) as u32);
                     if let Some(new_sq_head) = last_sq_head {
                         // Free every SQ entry the controller has consumed:
                         // bump its turn counter to the next even value so the
@@ -338,7 +342,12 @@ impl BamQueuePair {
     /// # Errors
     ///
     /// Propagates device command failures.
-    pub fn read_and_wait(&self, slba: u64, nlb: u32, dptr: u64) -> Result<NvmeCompletion, BamError> {
+    pub fn read_and_wait(
+        &self,
+        slba: u64,
+        nlb: u32,
+        dptr: u64,
+    ) -> Result<NvmeCompletion, BamError> {
         self.submit_and_wait(NvmeCommand::read(0, slba, nlb, dptr))
     }
 
@@ -347,7 +356,12 @@ impl BamQueuePair {
     /// # Errors
     ///
     /// Propagates device command failures.
-    pub fn write_and_wait(&self, slba: u64, nlb: u32, dptr: u64) -> Result<NvmeCompletion, BamError> {
+    pub fn write_and_wait(
+        &self,
+        slba: u64,
+        nlb: u32,
+        dptr: u64,
+    ) -> Result<NvmeCompletion, BamError> {
         self.submit_and_wait(NvmeCommand::write(0, slba, nlb, dptr))
     }
 }
@@ -377,7 +391,12 @@ mod tests {
         let mut ssd = SsdDevice::new(SsdSpec::intel_optane_p5800x(), region.clone(), 8 << 20);
         let qp = ssd.create_queue_pair(&alloc, queue_entries).unwrap();
         ssd.start();
-        Rig { region, alloc, ssd, bam_qp: Arc::new(BamQueuePair::new(qp)) }
+        Rig {
+            region,
+            alloc,
+            ssd,
+            bam_qp: Arc::new(BamQueuePair::new(qp)),
+        }
     }
 
     #[test]
@@ -399,7 +418,10 @@ mod tests {
         let r = rig(8);
         // Unique pattern per block so reads can be validated.
         for lba in 0..64u64 {
-            r.ssd.media().write_blocks(lba, &vec![lba as u8; 512]).unwrap();
+            r.ssd
+                .media()
+                .write_blocks(lba, &vec![lba as u8; 512])
+                .unwrap();
         }
         let qp = r.bam_qp.clone();
         let region = r.region.clone();
@@ -472,6 +494,97 @@ mod tests {
     }
 
     #[test]
+    fn ticket_counter_wraps_the_physical_ring_exactly() {
+        // 43 commands through an 8-entry ring: the ticket counter wraps the
+        // ring five times and lands 3 entries into the sixth generation.
+        // After every command has retired, each entry's turn_counter must be
+        // back at an even value equal to twice the number of times that entry
+        // was claimed — any missed or double bump would leave it odd or
+        // off-by-one and deadlock the next generation.
+        const ENTRIES: u32 = 8;
+        const COMMANDS: u64 = 43;
+        let r = rig(ENTRIES);
+        for lba in 0..COMMANDS {
+            r.ssd
+                .media()
+                .write_blocks(lba, &vec![(lba % 251) as u8; 512])
+                .unwrap();
+        }
+        let dst = r.alloc.alloc(512, 512).unwrap();
+        for lba in 0..COMMANDS {
+            r.bam_qp.read_and_wait(lba, 1, dst).unwrap();
+            let mut out = [0u8; 512];
+            r.region.read_bytes(dst, &mut out);
+            assert!(out.iter().all(|&b| b == (lba % 251) as u8), "lba {lba}");
+        }
+        assert_eq!(r.bam_qp.submissions(), COMMANDS);
+        for (entry, counter) in r.bam_qp.turn_counter.iter().enumerate() {
+            let uses = (COMMANDS - entry as u64).div_ceil(u64::from(ENTRIES));
+            assert_eq!(
+                counter.load(Ordering::Acquire),
+                2 * uses,
+                "entry {entry}: turn counter must be even and match its reuse count"
+            );
+        }
+    }
+
+    #[test]
+    fn turn_counters_survive_extreme_generation_counts() {
+        // Fast-forward a fresh queue pair to generation K (as if it had
+        // already cycled the ring K times): the ticket counter sits at
+        // K * entries and every turn_counter at 2K, the exact state the
+        // protocol would reach after that many retirements. The queue must
+        // keep working — the (entry, turn) decomposition and the odd/even
+        // turn handshake may not alias or overflow anywhere near the top of
+        // the counter range.
+        const ENTRIES: u32 = 8;
+        // As high as the ticket counter itself allows headroom for: ~2^61
+        // generations, i.e. a ticket value within 200 commands of u64::MAX.
+        let generation: u64 = u64::MAX / u64::from(ENTRIES) - 25;
+        let r = rig(ENTRIES);
+        r.bam_qp
+            .ticket
+            .store(generation * u64::from(ENTRIES), Ordering::Release);
+        for counter in &r.bam_qp.turn_counter {
+            counter.store(2 * generation, Ordering::Release);
+        }
+        for lba in 0..64u64 {
+            r.ssd
+                .media()
+                .write_blocks(lba, &vec![(lba % 251) as u8; 512])
+                .unwrap();
+        }
+        let qp = r.bam_qp.clone();
+        let region = r.region.clone();
+        let alloc = &r.alloc;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let qp = qp.clone();
+                let region = region.clone();
+                let dst = alloc.alloc(512, 512).unwrap();
+                s.spawn(move || {
+                    for i in 0..25u64 {
+                        let lba = (t * 25 + i) % 64;
+                        qp.read_and_wait(lba, 1, dst).unwrap();
+                        let mut out = [0u8; 512];
+                        region.read_bytes(dst, &mut out);
+                        assert!(out.iter().all(|&b| b == (lba % 251) as u8), "lba {lba}");
+                    }
+                });
+            }
+        });
+        let submitted = r.bam_qp.ticket.load(Ordering::Acquire) - generation * u64::from(ENTRIES);
+        assert_eq!(submitted, 100);
+        // All retired: every turn counter is even again and has advanced past
+        // the fast-forwarded generation.
+        for (entry, counter) in r.bam_qp.turn_counter.iter().enumerate() {
+            let v = counter.load(Ordering::Acquire);
+            assert_eq!(v % 2, 0, "entry {entry} left mid-turn (odd counter {v})");
+            assert!(v >= 2 * generation, "entry {entry} counter went backwards");
+        }
+    }
+
+    #[test]
     fn doorbell_writes_are_coalesced_under_contention() {
         // With many threads pounding a deep queue, the winner-sweeps design
         // must produce fewer doorbell MMIOs than submissions.
@@ -492,6 +605,9 @@ mod tests {
         let submissions = r.bam_qp.submissions();
         let doorbells = r.bam_qp.sq_doorbell_writes();
         assert_eq!(submissions, 800);
-        assert!(doorbells <= submissions, "doorbells {doorbells} > submissions {submissions}");
+        assert!(
+            doorbells <= submissions,
+            "doorbells {doorbells} > submissions {submissions}"
+        );
     }
 }

@@ -100,7 +100,12 @@ impl SystemInner {
 
     /// Writes `bytes` at `offset` within `line` (write-back through the
     /// cache, or a read-modify-write of the whole line in uncached mode).
-    pub(crate) fn write_element(&self, line: u64, offset: u64, bytes: &[u8]) -> Result<(), BamError> {
+    pub(crate) fn write_element(
+        &self,
+        line: u64,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<(), BamError> {
         self.write_line_range(line, offset, bytes)
     }
 
@@ -196,7 +201,12 @@ impl BamSystem {
         )?;
         let queues: Vec<Vec<Arc<BamQueuePair>>> = raw_queues
             .into_iter()
-            .map(|per_dev| per_dev.into_iter().map(|q| Arc::new(BamQueuePair::new(q))).collect())
+            .map(|per_dev| {
+                per_dev
+                    .into_iter()
+                    .map(|q| Arc::new(BamQueuePair::new(q)))
+                    .collect()
+            })
             .collect();
 
         let metrics = Arc::new(BamMetrics::new());
@@ -217,7 +227,12 @@ impl BamSystem {
             let slots = config.cache_slots();
             let slots_base = gpu.alloc(slots * config.cache_line_bytes, config.cache_line_bytes)?;
             let backing: Arc<dyn CacheBacking> = iostack.clone();
-            Some(Arc::new(BamCache::new(backing, metrics.clone(), slots_base, slots)))
+            Some(Arc::new(BamCache::new(
+                backing,
+                metrics.clone(),
+                slots_base,
+                slots,
+            )))
         } else {
             None
         };
@@ -270,7 +285,7 @@ impl BamSystem {
     /// exhausted, or [`BamError::InvalidConfig`] if the element size does not
     /// divide the cache line size.
     pub fn create_array<T: Pod>(&self, len: u64) -> Result<BamArray<T>, BamError> {
-        if self.inner.line_bytes % T::SIZE as u64 != 0 {
+        if !self.inner.line_bytes.is_multiple_of(T::SIZE as u64) {
             return Err(BamError::InvalidConfig {
                 reason: format!(
                     "element size {} does not divide the cache line size {}",
@@ -281,7 +296,10 @@ impl BamSystem {
         }
         let bytes = len * T::SIZE as u64;
         let reserved = bytes.next_multiple_of(self.inner.line_bytes);
-        let offset = self.inner.dataset_cursor.fetch_add(reserved, Ordering::AcqRel);
+        let offset = self
+            .inner
+            .dataset_cursor
+            .fetch_add(reserved, Ordering::AcqRel);
         if offset + bytes > self.inner.logical_capacity {
             return Err(BamError::OutOfStorageCapacity {
                 requested: bytes,
@@ -346,7 +364,10 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut cfg = BamConfig::test_scale();
         cfg.cache_line_bytes = 100;
-        assert!(matches!(BamSystem::new(cfg), Err(BamError::InvalidConfig { .. })));
+        assert!(matches!(
+            BamSystem::new(cfg),
+            Err(BamError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,9 @@ impl WarpCtx {
 
     /// Iterates over `(lane, global thread id)` for the active lanes.
     pub fn lanes(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..WARP_SIZE).filter(|&l| self.is_active(l)).map(|l| (l, self.thread_id(l)))
+        (0..WARP_SIZE)
+            .filter(|&l| self.is_active(l))
+            .map(|l| (l, self.thread_id(l)))
     }
 
     /// Number of active lanes.
@@ -87,14 +89,19 @@ pub struct GpuExecutor {
 impl GpuExecutor {
     /// Creates an executor using one worker per available CPU core.
     pub fn new(spec: GpuSpec) -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         Self { spec, workers }
     }
 
     /// Creates an executor with an explicit worker count (tests use 2–4 to
     /// provoke interleavings deterministically sized to the machine).
     pub fn with_workers(spec: GpuSpec, workers: usize) -> Self {
-        Self { spec, workers: workers.max(1) }
+        Self {
+            spec,
+            workers: workers.max(1),
+        }
     }
 
     /// The GPU specification.
@@ -135,7 +142,11 @@ impl GpuExecutor {
                     } else {
                         (1u32 << remaining) - 1
                     };
-                    let ctx = WarpCtx { warp_id: w, base_thread, active };
+                    let ctx = WarpCtx {
+                        warp_id: w,
+                        base_thread,
+                        active,
+                    };
                     kernel(&ctx);
                 });
             }

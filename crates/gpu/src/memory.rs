@@ -28,7 +28,11 @@ impl GpuMemory {
     pub fn new(spec: GpuSpec, capacity_bytes: usize) -> Self {
         let region = Arc::new(ByteRegion::new(capacity_bytes));
         let allocator = Arc::new(BumpAllocator::new(capacity_bytes as u64));
-        Self { region, allocator, spec }
+        Self {
+            region,
+            allocator,
+            spec,
+        }
     }
 
     /// The GPU specification this memory belongs to.

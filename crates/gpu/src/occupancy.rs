@@ -38,7 +38,11 @@ pub struct OccupancyModel {
 
 impl Default for OccupancyModel {
     fn default() -> Self {
-        Self { cache_probe_registers: 22, io_stack_registers: 18, max_registers: 255 }
+        Self {
+            cache_probe_registers: 22,
+            io_stack_registers: 18,
+            max_registers: 255,
+        }
     }
 }
 
@@ -60,8 +64,13 @@ impl OccupancyModel {
     /// The Figure 13 table: register usage for every studied application.
     /// Base (without-BaM) counts are taken from the paper's figure.
     pub fn figure13(&self) -> Vec<RegisterUsage> {
-        let apps: [(&str, u32); 5] =
-            [("BFS", 28), ("CC", 36), ("RAPIDS (Q0)", 29), ("RAPIDS (Q5)", 221), ("VecAdd", 21)];
+        let apps: [(&str, u32); 5] = [
+            ("BFS", 28),
+            ("CC", 36),
+            ("RAPIDS (Q0)", 29),
+            ("RAPIDS (Q5)", 221),
+            ("VecAdd", 21),
+        ];
         apps.iter()
             .map(|&(name, base)| RegisterUsage {
                 application: name.to_string(),

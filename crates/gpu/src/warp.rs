@@ -32,7 +32,11 @@ pub type LaneMask = u32;
 /// assert_eq!(masks[3], masks[9]);
 /// ```
 pub fn match_any(values: &[u64], active: LaneMask) -> [LaneMask; WARP_SIZE] {
-    assert_eq!(values.len(), WARP_SIZE, "match_any needs one value per lane");
+    assert_eq!(
+        values.len(),
+        WARP_SIZE,
+        "match_any needs one value per lane"
+    );
     let mut out = [0u32; WARP_SIZE];
     for lane in 0..WARP_SIZE {
         if active & (1 << lane) == 0 {
@@ -67,7 +71,11 @@ pub fn elect_leader(mask: LaneMask) -> Option<usize> {
 ///
 /// Panics if `predicates.len() != WARP_SIZE`.
 pub fn ballot(predicates: &[bool], active: LaneMask) -> LaneMask {
-    assert_eq!(predicates.len(), WARP_SIZE, "ballot needs one predicate per lane");
+    assert_eq!(
+        predicates.len(),
+        WARP_SIZE,
+        "ballot needs one predicate per lane"
+    );
     let mut mask = 0u32;
     for (lane, &p) in predicates.iter().enumerate() {
         if p && (active & (1 << lane) != 0) {
@@ -97,12 +105,8 @@ pub fn shfl<T: Copy>(values: &[T], src_lane: usize) -> T {
 pub fn groups(match_masks: &[LaneMask; WARP_SIZE], active: LaneMask) -> Vec<(usize, LaneMask)> {
     let mut seen: LaneMask = 0;
     let mut out = Vec::new();
-    for lane in 0..WARP_SIZE {
-        if active & (1 << lane) == 0 || seen & (1 << lane) != 0 {
-            continue;
-        }
-        let mask = match_masks[lane];
-        if mask == 0 {
+    for (lane, &mask) in match_masks.iter().enumerate() {
+        if active & (1 << lane) == 0 || seen & (1 << lane) != 0 || mask == 0 {
             continue;
         }
         let leader = elect_leader(mask).expect("non-empty mask has a leader");
@@ -181,6 +185,8 @@ mod tests {
         let masks = match_any(&vals, u32::MAX);
         let gs = groups(&masks, u32::MAX);
         assert_eq!(gs.len(), 32);
-        assert!(gs.iter().all(|(leader, mask)| mask.count_ones() == 1 && mask == &(1u32 << leader)));
+        assert!(gs
+            .iter()
+            .all(|(leader, mask)| mask.count_ones() == 1 && mask == &(1u32 << leader)));
     }
 }

@@ -54,7 +54,10 @@ pub struct BumpAllocator {
 impl BumpAllocator {
     /// Creates an allocator over `[0, capacity)`.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, cursor: AtomicU64::new(0) }
+        Self {
+            capacity,
+            cursor: AtomicU64::new(0),
+        }
     }
 
     /// Total capacity in bytes.
@@ -84,18 +87,23 @@ impl BumpAllocator {
     pub fn alloc(&self, size: u64, align: u64) -> Result<DevAddr, AllocError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let mut result = 0u64;
-        let outcome = self.cursor.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-            let aligned = cur.next_multiple_of(align);
-            let end = aligned.checked_add(size)?;
-            if end > self.capacity {
-                return None;
-            }
-            result = aligned;
-            Some(end)
-        });
+        let outcome = self
+            .cursor
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                let aligned = cur.next_multiple_of(align);
+                let end = aligned.checked_add(size)?;
+                if end > self.capacity {
+                    return None;
+                }
+                result = aligned;
+                Some(end)
+            });
         match outcome {
             Ok(_) => Ok(result),
-            Err(cur) => Err(AllocError { requested: size, remaining: self.capacity.saturating_sub(cur) }),
+            Err(cur) => Err(AllocError {
+                requested: size,
+                remaining: self.capacity.saturating_sub(cur),
+            }),
         }
     }
 }

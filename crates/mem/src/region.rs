@@ -30,7 +30,9 @@ pub struct ByteRegion {
 
 impl std::fmt::Debug for ByteRegion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ByteRegion").field("len", &self.len).finish()
+        f.debug_struct("ByteRegion")
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -45,7 +47,10 @@ impl ByteRegion {
         let nwords = len.div_ceil(8);
         let mut v = Vec::with_capacity(nwords);
         v.resize_with(nwords, || AtomicU64::new(0));
-        Self { words: v.into_boxed_slice(), len }
+        Self {
+            words: v.into_boxed_slice(),
+            len,
+        }
     }
 
     /// Returns the capacity of the region in bytes.
@@ -157,7 +162,7 @@ impl ByteRegion {
 
     /// Reads a little-endian `u64` at byte address `addr` (need not be aligned).
     pub fn read_u64(&self, addr: DevAddr) -> u64 {
-        if addr % 8 == 0 {
+        if addr.is_multiple_of(8) {
             self.check(addr, 8);
             return self.words[addr as usize / 8].load(Ordering::Relaxed);
         }
@@ -168,7 +173,7 @@ impl ByteRegion {
 
     /// Writes a little-endian `u64` at byte address `addr` (need not be aligned).
     pub fn write_u64(&self, addr: DevAddr, value: u64) {
-        if addr % 8 == 0 {
+        if addr.is_multiple_of(8) {
             self.check(addr, 8);
             self.words[addr as usize / 8].store(value, Ordering::Relaxed);
             return;
@@ -195,7 +200,10 @@ impl ByteRegion {
     ///
     /// Panics if `addr` is not 8-byte aligned or out of bounds.
     pub fn fetch_add_u64(&self, addr: DevAddr, delta: u64) -> u64 {
-        assert!(addr % 8 == 0, "atomic access must be 8-byte aligned");
+        assert!(
+            addr.is_multiple_of(8),
+            "atomic access must be 8-byte aligned"
+        );
         self.check(addr, 8);
         self.words[addr as usize / 8].fetch_add(delta, Ordering::AcqRel)
     }
@@ -206,16 +214,18 @@ impl ByteRegion {
     /// # Panics
     ///
     /// Panics if `addr` is not 8-byte aligned or out of bounds.
-    pub fn compare_exchange_u64(
-        &self,
-        addr: DevAddr,
-        expected: u64,
-        new: u64,
-    ) -> Result<u64, u64> {
-        assert!(addr % 8 == 0, "atomic access must be 8-byte aligned");
+    pub fn compare_exchange_u64(&self, addr: DevAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        assert!(
+            addr.is_multiple_of(8),
+            "atomic access must be 8-byte aligned"
+        );
         self.check(addr, 8);
-        self.words[addr as usize / 8]
-            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        self.words[addr as usize / 8].compare_exchange(
+            expected,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
     }
 
     /// Copies `len` bytes within this region from `src` to `dst`.

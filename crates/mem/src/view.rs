@@ -89,7 +89,12 @@ impl<T: Pod> TypedSlice<T> {
             T::SIZE,
             region.len()
         );
-        Self { region, base, len, _marker: PhantomData }
+        Self {
+            region,
+            base,
+            len,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements in the view.
@@ -108,7 +113,11 @@ impl<T: Pod> TypedSlice<T> {
     ///
     /// Panics if `idx >= len()`.
     pub fn addr_of(&self, idx: usize) -> DevAddr {
-        assert!(idx < self.len, "index {idx} out of bounds for length {}", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds for length {}",
+            self.len
+        );
         self.base + (idx * T::SIZE) as u64
     }
 

@@ -147,9 +147,7 @@ impl SsdArray {
     /// be written to keep the layout consistent.
     pub fn locate_write(&self, logical_lba: Lba) -> Vec<(usize, Lba)> {
         match self.layout {
-            DataLayout::Replicated => {
-                (0..self.devices.len()).map(|d| (d, logical_lba)).collect()
-            }
+            DataLayout::Replicated => (0..self.devices.len()).map(|d| (d, logical_lba)).collect(),
             DataLayout::Striped { chunk_blocks } => {
                 vec![self.locate_striped(logical_lba, chunk_blocks)]
             }
@@ -192,9 +190,10 @@ impl SsdArray {
                     let logical_lba = (byte_offset + off) / BLOCK_SIZE as u64;
                     let (dev, dev_lba) = self.locate_striped(logical_lba, chunk_blocks);
                     let n = (chunk_bytes).min(data.len() as u64 - off) as usize;
-                    self.devices[dev]
-                        .media()
-                        .write_bytes(dev_lba * BLOCK_SIZE as u64, &data[off as usize..off as usize + n])?;
+                    self.devices[dev].media().write_bytes(
+                        dev_lba * BLOCK_SIZE as u64,
+                        &data[off as usize..off as usize + n],
+                    )?;
                     off += n as u64;
                 }
                 Ok(())
@@ -226,7 +225,13 @@ mod tests {
     #[test]
     fn replicated_preload_copies_everywhere() {
         let (r, _a) = region();
-        let arr = SsdArray::new(SsdSpec::intel_optane_p5800x(), 3, r, 1 << 20, DataLayout::Replicated);
+        let arr = SsdArray::new(
+            SsdSpec::intel_optane_p5800x(),
+            3,
+            r,
+            1 << 20,
+            DataLayout::Replicated,
+        );
         arr.preload(0, &[0xABu8; 2048]).unwrap();
         for d in arr.iter() {
             let mut out = [0u8; 2048];
@@ -238,7 +243,13 @@ mod tests {
     #[test]
     fn replicated_reads_round_robin_and_writes_fan_out() {
         let (r, _a) = region();
-        let arr = SsdArray::new(SsdSpec::intel_optane_p5800x(), 4, r, 1 << 20, DataLayout::Replicated);
+        let arr = SsdArray::new(
+            SsdSpec::intel_optane_p5800x(),
+            4,
+            r,
+            1 << 20,
+            DataLayout::Replicated,
+        );
         let devices: Vec<usize> = (0..8).map(|i| arr.locate_read(10, i).0).collect();
         assert_eq!(devices, vec![0, 1, 2, 3, 0, 1, 2, 3]);
         assert_eq!(arr.locate_write(10).len(), 4);
@@ -259,13 +270,16 @@ mod tests {
         assert_eq!(arr.locate_read(8, 99), (1, 0));
         assert_eq!(arr.locate_read(16, 99), (2, 0));
         assert_eq!(arr.locate_read(33, 99), (0, 9)); // chunk 4 → dev 0, chunk idx 1, block 1
-        // Preload then read back through the mapping.
+                                                     // Preload then read back through the mapping.
         let data: Vec<u8> = (0..512 * 64).map(|i| (i % 249) as u8).collect();
         arr.preload(0, &data).unwrap();
         for lba in 0..64u64 {
             let (dev, dev_lba) = arr.locate_read(lba, 0);
             let mut out = [0u8; 512];
-            arr.device(dev).media().read_bytes(dev_lba * 512, &mut out).unwrap();
+            arr.device(dev)
+                .media()
+                .read_bytes(dev_lba * 512, &mut out)
+                .unwrap();
             assert_eq!(out[..], data[(lba as usize) * 512..][..512], "lba {lba}");
         }
     }
@@ -286,7 +300,13 @@ mod tests {
     #[test]
     fn queues_created_on_every_device() {
         let (r, a) = region();
-        let arr = SsdArray::new(SsdSpec::intel_optane_p5800x(), 2, r, 1 << 20, DataLayout::Replicated);
+        let arr = SsdArray::new(
+            SsdSpec::intel_optane_p5800x(),
+            2,
+            r,
+            1 << 20,
+            DataLayout::Replicated,
+        );
         let queues = arr.create_queues(&a, 3, 64).unwrap();
         assert_eq!(queues.len(), 2);
         assert!(queues.iter().all(|q| q.len() == 3));

@@ -50,8 +50,15 @@ impl BlockStore {
     ///
     /// Panics if `block_size` is zero or `num_blocks` is zero.
     pub fn new(block_size: usize, num_blocks: u64) -> Self {
-        assert!(block_size > 0 && num_blocks > 0, "block store dimensions must be non-zero");
-        Self { block_size, num_blocks, extents: RwLock::new(HashMap::new()) }
+        assert!(
+            block_size > 0 && num_blocks > 0,
+            "block store dimensions must be non-zero"
+        );
+        Self {
+            block_size,
+            num_blocks,
+            extents: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Logical block size in bytes.
@@ -77,7 +84,11 @@ impl BlockStore {
 
     fn check_range(&self, slba: Lba, nblocks: u64) -> Result<(), NvmeError> {
         if slba.checked_add(nblocks).map(|end| end <= self.num_blocks) != Some(true) {
-            return Err(NvmeError::LbaOutOfRange { slba, nblocks, capacity: self.num_blocks });
+            return Err(NvmeError::LbaOutOfRange {
+                slba,
+                nblocks,
+                capacity: self.num_blocks,
+            });
         }
         Ok(())
     }
@@ -90,8 +101,11 @@ impl BlockStore {
     /// namespace, or [`NvmeError::UnalignedBuffer`] if `buf` is not a whole
     /// number of blocks.
     pub fn read_blocks(&self, slba: Lba, buf: &mut [u8]) -> Result<(), NvmeError> {
-        if buf.len() % self.block_size != 0 {
-            return Err(NvmeError::UnalignedBuffer { len: buf.len(), block_size: self.block_size });
+        if !buf.len().is_multiple_of(self.block_size) {
+            return Err(NvmeError::UnalignedBuffer {
+                len: buf.len(),
+                block_size: self.block_size,
+            });
         }
         let nblocks = (buf.len() / self.block_size) as u64;
         self.check_range(slba, nblocks)?;
@@ -102,9 +116,8 @@ impl BlockStore {
             let offset_in_extent = (lba % BLOCKS_PER_EXTENT) as usize * self.block_size;
             let dst = &mut buf[(i as usize) * self.block_size..][..self.block_size];
             match extents.get(&extent_id) {
-                Some(extent) => {
-                    dst.copy_from_slice(&extent[offset_in_extent..offset_in_extent + self.block_size])
-                }
+                Some(extent) => dst
+                    .copy_from_slice(&extent[offset_in_extent..offset_in_extent + self.block_size]),
                 None => dst.fill(0),
             }
         }
@@ -119,8 +132,11 @@ impl BlockStore {
     /// namespace, or [`NvmeError::UnalignedBuffer`] if `data` is not a whole
     /// number of blocks.
     pub fn write_blocks(&self, slba: Lba, data: &[u8]) -> Result<(), NvmeError> {
-        if data.len() % self.block_size != 0 {
-            return Err(NvmeError::UnalignedBuffer { len: data.len(), block_size: self.block_size });
+        if !data.len().is_multiple_of(self.block_size) {
+            return Err(NvmeError::UnalignedBuffer {
+                len: data.len(),
+                block_size: self.block_size,
+            });
         }
         let nblocks = (data.len() / self.block_size) as u64;
         self.check_range(slba, nblocks)?;
@@ -211,15 +227,24 @@ mod tests {
     fn out_of_range_rejected() {
         let s = BlockStore::new(512, 16);
         let mut buf = vec![0u8; 512 * 2];
-        assert!(matches!(s.read_blocks(15, &mut buf), Err(NvmeError::LbaOutOfRange { .. })));
-        assert!(matches!(s.write_blocks(16, &buf), Err(NvmeError::LbaOutOfRange { .. })));
+        assert!(matches!(
+            s.read_blocks(15, &mut buf),
+            Err(NvmeError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.write_blocks(16, &buf),
+            Err(NvmeError::LbaOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn unaligned_buffer_rejected() {
         let s = BlockStore::new(512, 16);
         let mut buf = vec![0u8; 100];
-        assert!(matches!(s.read_blocks(0, &mut buf), Err(NvmeError::UnalignedBuffer { .. })));
+        assert!(matches!(
+            s.read_blocks(0, &mut buf),
+            Err(NvmeError::UnalignedBuffer { .. })
+        ));
     }
 
     #[test]

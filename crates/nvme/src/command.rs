@@ -99,17 +99,35 @@ pub struct NvmeCommand {
 impl NvmeCommand {
     /// Convenience constructor for a read command.
     pub fn read(cid: u16, slba: u64, nlb: u32, dptr: u64) -> Self {
-        Self { opcode: NvmeOpcode::Read, cid, slba, nlb, dptr }
+        Self {
+            opcode: NvmeOpcode::Read,
+            cid,
+            slba,
+            nlb,
+            dptr,
+        }
     }
 
     /// Convenience constructor for a write command.
     pub fn write(cid: u16, slba: u64, nlb: u32, dptr: u64) -> Self {
-        Self { opcode: NvmeOpcode::Write, cid, slba, nlb, dptr }
+        Self {
+            opcode: NvmeOpcode::Write,
+            cid,
+            slba,
+            nlb,
+            dptr,
+        }
     }
 
     /// Convenience constructor for a flush command.
     pub fn flush(cid: u16) -> Self {
-        Self { opcode: NvmeOpcode::Flush, cid, slba: 0, nlb: 0, dptr: 0 }
+        Self {
+            opcode: NvmeOpcode::Flush,
+            cid,
+            slba: 0,
+            nlb: 0,
+            dptr: 0,
+        }
     }
 
     /// Encodes the command into a 64-byte submission-queue entry.
@@ -217,7 +235,12 @@ mod tests {
                 NvmeStatus::InternalError,
                 NvmeStatus::InvalidOpcode,
             ] {
-                let c = NvmeCompletion { cid: 99, status, sq_head: 511, phase };
+                let c = NvmeCompletion {
+                    cid: 99,
+                    status,
+                    sq_head: 511,
+                    phase,
+                };
                 assert_eq!(NvmeCompletion::decode(&c.encode()), c);
             }
         }

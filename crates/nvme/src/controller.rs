@@ -89,7 +89,9 @@ impl NvmeController {
 
     /// Registers a queue pair with the controller.
     pub fn register_queue(&self, qp: Arc<QueuePair>) {
-        self.queues.write().push((qp, Mutex::new(DeviceQueueState::default())));
+        self.queues
+            .write()
+            .push((qp, Mutex::new(DeviceQueueState::default())));
     }
 
     /// Number of registered queue pairs.
@@ -214,8 +216,8 @@ impl NvmeController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bam_mem::BumpAllocator;
     use crate::queue::QueueId;
+    use bam_mem::BumpAllocator;
 
     struct Harness {
         region: Arc<ByteRegion>,
@@ -233,7 +235,12 @@ mod tests {
             QueuePair::allocate(region.clone(), &alloc, QueueId(1), entries, 1024).unwrap(),
         );
         ctrl.register_queue(qp.clone());
-        Harness { region, alloc, ctrl, qp }
+        Harness {
+            region,
+            alloc,
+            ctrl,
+            qp,
+        }
     }
 
     /// Submits a command the "raw" way (no BaM protocol): write entry, ring
@@ -277,8 +284,7 @@ mod tests {
     fn out_of_range_read_fails_cleanly() {
         let h = harness(16);
         let dst = h.alloc.alloc(512, 512).unwrap();
-        let completion =
-            submit_sync(&h, 0, 1, NvmeCommand::read(9, u64::MAX - 10, 1, dst));
+        let completion = submit_sync(&h, 0, 1, NvmeCommand::read(9, u64::MAX - 10, 1, dst));
         assert_eq!(completion.status, NvmeStatus::LbaOutOfRange);
         assert_eq!(h.ctrl.stats().snapshot().failed_commands, 1);
     }
@@ -332,9 +338,10 @@ mod tests {
     #[test]
     fn fault_injection_fails_matching_commands() {
         let h = harness(16);
-        h.ctrl.set_fault_injector(Some(Arc::new(|cmd: &NvmeCommand| {
-            (cmd.cid % 2 == 1).then_some(NvmeStatus::InternalError)
-        })));
+        h.ctrl
+            .set_fault_injector(Some(Arc::new(|cmd: &NvmeCommand| {
+                (cmd.cid % 2 == 1).then_some(NvmeStatus::InternalError)
+            })));
         let dst = h.alloc.alloc(512, 512).unwrap();
         let c0 = submit_sync(&h, 0, 1, NvmeCommand::read(0, 0, 1, dst));
         let c1 = submit_sync(&h, 1, 2, NvmeCommand::read(1, 0, 1, dst));

@@ -194,7 +194,10 @@ mod tests {
                 assert!(c.status.is_success());
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "timed out waiting for completion");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for completion"
+            );
             std::hint::spin_loop();
         }
         let mut out = [0u8; 512];

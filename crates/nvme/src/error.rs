@@ -45,12 +45,19 @@ pub enum NvmeError {
 impl std::fmt::Display for NvmeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NvmeError::LbaOutOfRange { slba, nblocks, capacity } => write!(
+            NvmeError::LbaOutOfRange {
+                slba,
+                nblocks,
+                capacity,
+            } => write!(
                 f,
                 "lba range out of bounds: slba={slba} nblocks={nblocks} capacity={capacity}"
             ),
             NvmeError::UnalignedBuffer { len, block_size } => {
-                write!(f, "buffer of {len} bytes is not a multiple of the {block_size}-byte block size")
+                write!(
+                    f,
+                    "buffer of {len} bytes is not a multiple of the {block_size}-byte block size"
+                )
             }
             NvmeError::UnknownQueue { queue_id } => write!(f, "unknown queue pair {queue_id}"),
             NvmeError::InvalidQueueSize { requested, max } => {
@@ -71,11 +78,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = NvmeError::LbaOutOfRange { slba: 10, nblocks: 2, capacity: 8 };
+        let e = NvmeError::LbaOutOfRange {
+            slba: 10,
+            nblocks: 2,
+            capacity: 8,
+        };
         let msg = e.to_string();
         assert!(msg.contains("slba=10"));
         assert!(msg.chars().next().unwrap().is_lowercase());
-        let e2 = NvmeError::UnalignedBuffer { len: 100, block_size: 512 };
+        let e2 = NvmeError::UnalignedBuffer {
+            len: 100,
+            block_size: 512,
+        };
         assert!(e2.to_string().contains("512"));
     }
 

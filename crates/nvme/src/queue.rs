@@ -54,16 +54,25 @@ impl QueuePair {
         max_entries: u32,
     ) -> Result<Self, NvmeError> {
         if entries == 0 || entries > max_entries {
-            return Err(NvmeError::InvalidQueueSize { requested: entries, max: max_entries });
+            return Err(NvmeError::InvalidQueueSize {
+                requested: entries,
+                max: max_entries,
+            });
         }
         let sq_bytes = entries as u64 * SQ_ENTRY_BYTES as u64;
         let cq_bytes = entries as u64 * CQ_ENTRY_BYTES as u64;
         let sq_base = alloc
             .alloc(sq_bytes, 64)
-            .map_err(|_| NvmeError::InvalidQueueSize { requested: entries, max: max_entries })?;
+            .map_err(|_| NvmeError::InvalidQueueSize {
+                requested: entries,
+                max: max_entries,
+            })?;
         let cq_base = alloc
             .alloc(cq_bytes, 64)
-            .map_err(|_| NvmeError::InvalidQueueSize { requested: entries, max: max_entries })?;
+            .map_err(|_| NvmeError::InvalidQueueSize {
+                requested: entries,
+                max: max_entries,
+            })?;
         // Zero both rings so that phase-bit polling starts from a known state.
         region.fill(sq_base, sq_bytes as usize, 0);
         region.fill(cq_base, cq_bytes as usize, 0);
@@ -225,7 +234,13 @@ mod tests {
         let region = Arc::new(ByteRegion::new(1 << 20));
         let alloc = BumpAllocator::new(region.len() as u64);
         let err = QueuePair::allocate(region, &alloc, QueueId(0), 2048, 1024).unwrap_err();
-        assert!(matches!(err, NvmeError::InvalidQueueSize { requested: 2048, max: 1024 }));
+        assert!(matches!(
+            err,
+            NvmeError::InvalidQueueSize {
+                requested: 2048,
+                max: 1024
+            }
+        ));
     }
 
     #[test]
@@ -234,7 +249,13 @@ mod tests {
         let alloc = BumpAllocator::new(region.len() as u64);
         let q1 = QueuePair::allocate(region.clone(), &alloc, QueueId(1), 32, 1024).unwrap();
         let q2 = QueuePair::allocate(region, &alloc, QueueId(2), 32, 1024).unwrap();
-        let cmd = NvmeCommand { opcode: NvmeOpcode::Write, cid: 1, slba: 9, nlb: 1, dptr: 0 };
+        let cmd = NvmeCommand {
+            opcode: NvmeOpcode::Write,
+            cid: 1,
+            slba: 9,
+            nlb: 1,
+            dptr: 0,
+        };
         q1.write_sq_entry(0, &cmd);
         assert_eq!(q2.read_sq_entry(0), None);
     }

@@ -18,7 +18,7 @@ pub mod topology;
 pub mod transfer;
 
 pub use link::{LinkSpec, PcieGeneration};
-pub use topology::{DeviceKind, DeviceId, Topology, TopologyBuilder};
+pub use topology::{DeviceId, DeviceKind, Topology, TopologyBuilder};
 pub use transfer::TransferModel;
 
 #[cfg(test)]

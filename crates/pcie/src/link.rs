@@ -49,17 +49,32 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// The GPU's host link in the BaM prototype: Gen4 ×16, ~26 GB/s measured.
     pub fn gen4_x16() -> Self {
-        Self { generation: PcieGeneration::Gen4, lanes: 16, efficiency: 0.82, latency_us: 0.9 }
+        Self {
+            generation: PcieGeneration::Gen4,
+            lanes: 16,
+            efficiency: 0.82,
+            latency_us: 0.9,
+        }
     }
 
     /// A single NVMe SSD's link: Gen4 ×4, ~6.5 GB/s raw.
     pub fn gen4_x4() -> Self {
-        Self { generation: PcieGeneration::Gen4, lanes: 4, efficiency: 0.82, latency_us: 0.9 }
+        Self {
+            generation: PcieGeneration::Gen4,
+            lanes: 4,
+            efficiency: 0.82,
+            latency_us: 0.9,
+        }
     }
 
     /// A Gen3 ×16 link (used in sensitivity comparisons).
     pub fn gen3_x16() -> Self {
-        Self { generation: PcieGeneration::Gen3, lanes: 16, efficiency: 0.82, latency_us: 0.9 }
+        Self {
+            generation: PcieGeneration::Gen3,
+            lanes: 16,
+            efficiency: 0.82,
+            latency_us: 0.9,
+        }
     }
 
     /// Raw bandwidth in GB/s (lanes × per-lane rate).

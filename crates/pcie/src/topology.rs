@@ -60,9 +60,21 @@ impl TopologyBuilder {
         Self::default()
     }
 
-    fn push(&mut self, kind: DeviceKind, name: &str, uplink: LinkSpec, parent: Option<DeviceId>) -> DeviceId {
+    fn push(
+        &mut self,
+        kind: DeviceKind,
+        name: &str,
+        uplink: LinkSpec,
+        parent: Option<DeviceId>,
+    ) -> DeviceId {
         let id = DeviceId(self.devices.len() as u32);
-        self.devices.push(DeviceNode { id, kind, name: name.to_string(), uplink, parent });
+        self.devices.push(DeviceNode {
+            id,
+            kind,
+            name: name.to_string(),
+            uplink,
+            parent,
+        });
         id
     }
 
@@ -97,7 +109,9 @@ impl TopologyBuilder {
             self.devices.first().map(|d| d.kind) == Some(DeviceKind::HostCpu),
             "topology must contain a host root complex"
         );
-        Topology { devices: self.devices }
+        Topology {
+            devices: self.devices,
+        }
     }
 }
 
@@ -117,7 +131,11 @@ impl Topology {
 
     /// All device ids of a given kind, in insertion order.
     pub fn devices_of_kind(&self, kind: DeviceKind) -> Vec<DeviceId> {
-        self.devices.iter().filter(|d| d.kind == kind).map(|d| d.id).collect()
+        self.devices
+            .iter()
+            .filter(|d| d.kind == kind)
+            .map(|d| d.id)
+            .collect()
     }
 
     /// Human-readable name of a device.
@@ -165,7 +183,10 @@ impl Topology {
         {
             lca_depth_from_end += 1;
         }
-        assert!(lca_depth_from_end > 0, "devices are not in the same topology");
+        assert!(
+            lca_depth_from_end > 0,
+            "devices are not in the same topology"
+        );
         let mut min_bw = f64::INFINITY;
         for &d in pa.iter().take(pa.len() - lca_depth_from_end) {
             min_bw = min_bw.min(self.uplink(d).effective_bandwidth_gbps());
@@ -194,8 +215,16 @@ impl Topology {
             common += 1;
         }
         let hops = (pa.len() - common) + (pb.len() - common);
-        let lat_a: f64 = pa.iter().take(pa.len() - common).map(|&d| self.uplink(d).latency_us).sum();
-        let lat_b: f64 = pb.iter().take(pb.len() - common).map(|&d| self.uplink(d).latency_us).sum();
+        let lat_a: f64 = pa
+            .iter()
+            .take(pa.len() - common)
+            .map(|&d| self.uplink(d).latency_us)
+            .sum();
+        let lat_b: f64 = pb
+            .iter()
+            .take(pb.len() - common)
+            .map(|&d| self.uplink(d).latency_us)
+            .sum();
         if hops == 0 {
             0.0
         } else {
@@ -241,7 +270,10 @@ mod tests {
         let ssds = t.devices_of_kind(DeviceKind::Ssd);
         let agg = t.aggregate_ssd_to_gpu_gbps(gpu, &ssds);
         let x16 = LinkSpec::gen4_x16().effective_bandwidth_gbps();
-        assert!((agg - x16).abs() < 1e-9, "ten x4 SSDs should saturate the x16 GPU link");
+        assert!(
+            (agg - x16).abs() < 1e-9,
+            "ten x4 SSDs should saturate the x16 GPU link"
+        );
         // With one SSD we are x4 limited.
         let agg1 = t.aggregate_ssd_to_gpu_gbps(gpu, &ssds[..1]);
         assert!(agg1 < x16 / 3.0);

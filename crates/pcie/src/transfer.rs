@@ -26,13 +26,21 @@ impl TransferModel {
     /// A model with no per-transfer software overhead (pure DMA, fully
     /// pipelined) — the envelope BaM operates in.
     pub fn pipelined(link: LinkSpec, concurrency: u32) -> Self {
-        Self { link, per_transfer_overhead_us: 0.0, concurrency: concurrency.max(1) }
+        Self {
+            link,
+            per_transfer_overhead_us: 0.0,
+            concurrency: concurrency.max(1),
+        }
     }
 
     /// A model with per-transfer overhead, e.g. a CPU software stack issuing
     /// each I/O (GDS / page-fault paths).
     pub fn with_overhead(link: LinkSpec, per_transfer_overhead_us: f64, concurrency: u32) -> Self {
-        Self { link, per_transfer_overhead_us, concurrency: concurrency.max(1) }
+        Self {
+            link,
+            per_transfer_overhead_us,
+            concurrency: concurrency.max(1),
+        }
     }
 
     /// Total time (seconds) to move `num_transfers` transfers of
@@ -42,9 +50,11 @@ impl TransferModel {
     /// over the available concurrency; the two overlap, so the result is the
     /// max of the two — the standard bandwidth/overhead bound.
     pub fn total_seconds(&self, num_transfers: u64, transfer_bytes: u64) -> f64 {
-        let wire = self.link.transfer_seconds(num_transfers.saturating_mul(transfer_bytes));
-        let overhead =
-            (num_transfers as f64 * self.per_transfer_overhead_us * 1e-6) / f64::from(self.concurrency);
+        let wire = self
+            .link
+            .transfer_seconds(num_transfers.saturating_mul(transfer_bytes));
+        let overhead = (num_transfers as f64 * self.per_transfer_overhead_us * 1e-6)
+            / f64::from(self.concurrency);
         wire.max(overhead)
     }
 

@@ -29,14 +29,22 @@ impl ExecutionBreakdown {
     pub fn overlapped(compute_s: f64, cache_api_s: f64, storage_total_s: f64) -> Self {
         let gpu_side = compute_s + cache_api_s;
         let storage_io_s = (storage_total_s - gpu_side).max(0.0);
-        Self { compute_s, cache_api_s, storage_io_s }
+        Self {
+            compute_s,
+            cache_api_s,
+            storage_io_s,
+        }
     }
 
     /// Builds a breakdown for a serial execution in which the phases do not
     /// overlap (e.g. load-then-compute baselines). `storage_total_s` is fully
     /// exposed.
     pub fn serial(compute_s: f64, cache_api_s: f64, storage_total_s: f64) -> Self {
-        Self { compute_s, cache_api_s, storage_io_s: storage_total_s }
+        Self {
+            compute_s,
+            cache_api_s,
+            storage_io_s: storage_total_s,
+        }
     }
 
     /// End-to-end seconds.

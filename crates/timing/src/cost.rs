@@ -19,7 +19,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { dram_cost_per_gb: 11.13, expansion_chassis_usd: 0.0, chassis_ssd_slots: 20 }
+        Self {
+            dram_cost_per_gb: 11.13,
+            expansion_chassis_usd: 0.0,
+            chassis_ssd_slots: 20,
+        }
     }
 }
 
@@ -111,7 +115,10 @@ mod tests {
     #[test]
     fn chassis_cost_reduces_gain() {
         let base = CostModel::default();
-        let pricey = CostModel { expansion_chassis_usd: 40_000.0, ..CostModel::default() };
+        let pricey = CostModel {
+            expansion_chassis_usd: 40_000.0,
+            ..CostModel::default()
+        };
         let spec = SsdSpec::samsung_980pro();
         assert!(pricey.gain_vs_dram(&spec, 10_000.0) < base.gain_vs_dram(&spec, 10_000.0));
     }

@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn times_scale_linearly() {
         let g = GpuRateModel::a100();
-        assert!((g.cache_probe_time_s(2_000_000) / g.cache_probe_time_s(1_000_000) - 2.0).abs() < 1e-9);
+        assert!(
+            (g.cache_probe_time_s(2_000_000) / g.cache_probe_time_s(1_000_000) - 2.0).abs() < 1e-9
+        );
         assert!(g.compute_time_s(0) == 0.0);
     }
 }

@@ -81,7 +81,11 @@ impl SsdArrayModel {
     /// (Little's-law limited below the knee, peak above it).
     pub fn read_iops(&self, access_bytes: u64, in_flight: u64) -> f64 {
         let in_flight = in_flight.min(self.max_outstanding()) as f64;
-        achievable_throughput(in_flight, self.spec.read_latency_us, self.peak_read_iops(access_bytes))
+        achievable_throughput(
+            in_flight,
+            self.spec.read_latency_us,
+            self.peak_read_iops(access_bytes),
+        )
     }
 
     /// Write IOPS achieved with `in_flight` concurrently outstanding requests.
@@ -121,13 +125,7 @@ impl SsdArrayModel {
 
     /// Time for a mixed read+write demand, assuming reads and writes share
     /// the devices (sum of service demands).
-    pub fn mixed_time_s(
-        &self,
-        reads: u64,
-        writes: u64,
-        access_bytes: u64,
-        in_flight: u64,
-    ) -> f64 {
+    pub fn mixed_time_s(&self, reads: u64, writes: u64, access_bytes: u64, in_flight: u64) -> f64 {
         self.read_time_s(reads, access_bytes, in_flight)
             + self.write_time_s(writes, access_bytes, in_flight)
     }

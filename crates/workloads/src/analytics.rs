@@ -81,7 +81,11 @@ impl TaxiTable {
             metrics[0].push(base_fare);
             metrics[1].push(rng.gen_range(0.0..5.0));
             metrics[2].push(if rng.gen_bool(0.05) { 2.75 } else { 0.0 });
-            metrics[3].push(if rng.gen_bool(0.2) { rng.gen_range(1.0..20.0) } else { 0.0 });
+            metrics[3].push(if rng.gen_bool(0.2) {
+                rng.gen_range(1.0..20.0)
+            } else {
+                0.0
+            });
             metrics[4].push(base_fare * 0.08875);
         }
         Self { distance, metrics }
@@ -99,7 +103,10 @@ impl TaxiTable {
 
     /// Rows with distance ≥ 30 miles.
     pub fn selected_rows(&self) -> u64 {
-        self.distance.iter().filter(|&&d| d >= MIN_DISTANCE_MILES).count() as u64
+        self.distance
+            .iter()
+            .filter(|&&d| d >= MIN_DISTANCE_MILES)
+            .count() as u64
     }
 
     /// The [`RapidsQuery`] demand `Q<q>` places on the RAPIDS baseline.
@@ -144,7 +151,11 @@ pub fn query_reference(table: &TaxiTable, q: usize) -> QueryOutput {
             }
         }
     }
-    QueryOutput { aggregate, selected_rows: selected, accesses }
+    QueryOutput {
+        aggregate,
+        selected_rows: selected,
+        accesses,
+    }
 }
 
 /// BaM-backed column arrays for the taxi table.
@@ -172,7 +183,11 @@ impl BamTaxiTable {
             arr.preload(col)?;
             metrics.push(arr);
         }
-        Ok(Self { distance, metrics, rows: table.rows() as u64 })
+        Ok(Self {
+            distance,
+            metrics,
+            rows: table.rows() as u64,
+        })
     }
 
     /// Number of rows.
@@ -316,7 +331,8 @@ mod tests {
             let bam = query_bam(&bam_table, q, &exec).unwrap();
             assert_eq!(bam.selected_rows, reference.selected_rows, "Q{q}");
             assert!(
-                (bam.aggregate - reference.aggregate).abs() < 1e-6 * reference.aggregate.abs().max(1.0),
+                (bam.aggregate - reference.aggregate).abs()
+                    < 1e-6 * reference.aggregate.abs().max(1.0),
                 "Q{q}: {} vs {}",
                 bam.aggregate,
                 reference.aggregate

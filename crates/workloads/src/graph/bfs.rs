@@ -54,7 +54,11 @@ pub fn bfs_reference(graph: &CsrGraph, source: u32) -> BfsResult {
         frontier = next;
         level += 1;
     }
-    BfsResult { distances, edges_traversed, iterations: level }
+    BfsResult {
+        distances,
+        edges_traversed,
+        iterations: level,
+    }
 }
 
 /// BFS with the edge list accessed on demand through BaM.

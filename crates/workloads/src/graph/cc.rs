@@ -59,7 +59,11 @@ pub fn cc_reference(graph: &CsrGraph) -> CcResult {
             break;
         }
     }
-    CcResult { labels, edges_traversed, iterations }
+    CcResult {
+        labels,
+        edges_traversed,
+        iterations,
+    }
 }
 
 /// Connected components with the edge list accessed on demand through BaM.
@@ -146,11 +150,8 @@ mod tests {
     #[test]
     fn reference_cc_identifies_components() {
         // Two triangles and an isolated node.
-        let g = CsrGraph::from_edge_list(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-            true,
-        );
+        let g =
+            CsrGraph::from_edge_list(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], true);
         let r = cc_reference(&g);
         assert_eq!(r.num_components(), 3);
         assert_eq!(r.labels[0], r.labels[1]);

@@ -30,7 +30,10 @@ impl CsrGraph {
         let n = num_nodes as usize;
         let mut degree = vec![0u64; n];
         for &(u, v) in edge_list {
-            assert!(u < num_nodes && v < num_nodes, "edge ({u},{v}) out of range");
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u},{v}) out of range"
+            );
             degree[u as usize] += 1;
             if symmetrize {
                 degree[v as usize] += 1;
@@ -83,7 +86,9 @@ impl CsrGraph {
     /// Nodes with at least `min_degree` neighbours — the paper picks BFS
     /// sources with more than two neighbours.
     pub fn nodes_with_degree_at_least(&self, min_degree: u64) -> Vec<u32> {
-        (0..self.num_nodes()).filter(|&v| self.degree(v) >= min_degree).collect()
+        (0..self.num_nodes())
+            .filter(|&v| self.degree(v) >= min_degree)
+            .collect()
     }
 }
 

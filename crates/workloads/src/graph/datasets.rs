@@ -100,23 +100,41 @@ impl DatasetDescriptor {
     /// Panics if the scaled node count is below 16.
     pub fn generate(&self, scale: f64, seed: u64) -> CsrGraph {
         let nodes = ((self.original_nodes as f64 * scale) as u64).max(16);
-        assert!(nodes >= 16 && nodes < u32::MAX as u64, "scaled node count {nodes} out of range");
+        assert!(
+            nodes >= 16 && nodes < u32::MAX as u64,
+            "scaled node count {nodes} out of range"
+        );
         let avg_degree = self.original_edges as f64 / self.original_nodes as f64;
         let edges = (nodes as f64 * avg_degree) as u64;
         let nodes = nodes as u32;
         match self.kind {
             DatasetKind::GapKron => {
                 let scale_log2 = (nodes as f64).log2().ceil() as u32;
-                rmat(scale_log2.clamp(4, 30), edges / 2, RmatParams::gap_kron(), seed)
+                rmat(
+                    scale_log2.clamp(4, 30),
+                    edges / 2,
+                    RmatParams::gap_kron(),
+                    seed,
+                )
             }
             DatasetKind::GapUrand => uniform_random(nodes, edges / 2, seed),
             DatasetKind::Friendster => {
                 let scale_log2 = (nodes as f64).log2().ceil() as u32;
-                rmat(scale_log2.clamp(4, 30), edges / 2, RmatParams::social(), seed)
+                rmat(
+                    scale_log2.clamp(4, 30),
+                    edges / 2,
+                    RmatParams::social(),
+                    seed,
+                )
             }
             DatasetKind::Moliere => {
                 let scale_log2 = (nodes as f64).log2().ceil() as u32;
-                rmat(scale_log2.clamp(4, 30), edges / 2, RmatParams::social(), seed.wrapping_add(1))
+                rmat(
+                    scale_log2.clamp(4, 30),
+                    edges / 2,
+                    RmatParams::social(),
+                    seed.wrapping_add(1),
+                )
             }
             DatasetKind::Uk2007 => web_crawl(nodes, edges / 2, seed),
         }

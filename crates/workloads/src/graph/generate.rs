@@ -43,24 +43,36 @@ pub struct RmatParams {
 impl RmatParams {
     /// The GAP-kron parameters (a=0.57, b=c=0.19).
     pub fn gap_kron() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// Milder skew used for the social-network-like graphs.
     pub fn social() -> Self {
-        Self { a: 0.45, b: 0.22, c: 0.22 }
+        Self {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+        }
     }
 
     /// Strong skew producing web-crawl-like degree distributions.
     pub fn web() -> Self {
-        Self { a: 0.65, b: 0.15, c: 0.15 }
+        Self {
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+        }
     }
 }
 
 /// Generates an R-MAT graph with `2^scale` nodes and `num_edges` undirected
 /// edges.
 pub fn rmat(scale: u32, num_edges: u64, params: RmatParams, seed: u64) -> CsrGraph {
-    assert!(scale >= 1 && scale < 31, "scale must be in 1..31");
+    assert!((1..31).contains(&scale), "scale must be in 1..31");
     let num_nodes = 1u32 << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(num_edges as usize);
@@ -103,8 +115,16 @@ pub fn web_crawl(num_nodes: u32, num_edges: u64, seed: u64) -> CsrGraph {
     // low-numbered "hub" pages, on both endpoints (site-internal link farms).
     let hubs = (num_nodes / 16).max(1);
     for _ in 0..num_edges.saturating_sub(edges.len() as u64) {
-        let u = if rng.gen_bool(0.5) { rng.gen_range(0..hubs) } else { rng.gen_range(0..num_nodes) };
-        let v = if rng.gen_bool(0.7) { rng.gen_range(0..hubs) } else { rng.gen_range(0..num_nodes) };
+        let u = if rng.gen_bool(0.5) {
+            rng.gen_range(0..hubs)
+        } else {
+            rng.gen_range(0..num_nodes)
+        };
+        let v = if rng.gen_bool(0.7) {
+            rng.gen_range(0..hubs)
+        } else {
+            rng.gen_range(0..num_nodes)
+        };
         edges.push((u, v));
     }
     CsrGraph::from_edge_list(num_nodes, &edges, true)

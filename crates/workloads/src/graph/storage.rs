@@ -1,7 +1,7 @@
 //! Placing graphs on BaM-backed storage and describing their demand.
 
-use bam_core::{BamArray, BamError, BamSystem};
 use bam_baselines::AccessDemand;
+use bam_core::{BamArray, BamError, BamSystem};
 
 use super::csr::CsrGraph;
 

@@ -72,7 +72,15 @@ pub fn random_read(
     workers: usize,
     seed: u64,
 ) -> Result<MicroRunResult, BamError> {
-    run_random(system, array, num_requests, num_threads, workers, seed, false)
+    run_random(
+        system,
+        array,
+        num_requests,
+        num_threads,
+        workers,
+        seed,
+        false,
+    )
 }
 
 /// Issues `num_requests` random single-line writes (Fig 4 write benchmark).
@@ -88,7 +96,15 @@ pub fn random_write(
     workers: usize,
     seed: u64,
 ) -> Result<MicroRunResult, BamError> {
-    run_random(system, array, num_requests, num_threads, workers, seed, true)
+    run_random(
+        system,
+        array,
+        num_requests,
+        num_threads,
+        workers,
+        seed,
+        true,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -121,7 +137,9 @@ fn run_random(
                     let values = vec![tid as u64; elems_per_line as usize];
                     array.write_run(line * elems_per_line, &values)
                 } else {
-                    array.read(line * elems_per_line + rng.gen_range(0..elems_per_line)).map(|_| ())
+                    array
+                        .read(line * elems_per_line + rng.gen_range(0..elems_per_line))
+                        .map(|_| ())
                 };
                 if let Err(e) = result {
                     first_error.lock().expect("poisoned").get_or_insert(e);
@@ -196,7 +214,10 @@ mod tests {
         let (sys, arr) = small_system();
         let r = random_read(&sys, &arr, 500, 128, 4, 1).unwrap();
         assert_eq!(r.requests, 500);
-        assert_eq!(r.commands, 500, "uncached 512B reads map 1:1 to NVMe commands");
+        assert_eq!(
+            r.commands, 500,
+            "uncached 512B reads map 1:1 to NVMe commands"
+        );
         assert!(r.doorbell_writes <= r.commands);
         assert_eq!(r.metrics.cache_hits, 0);
     }

@@ -23,16 +23,16 @@ pub struct VectorAddResult {
     pub writes: u64,
 }
 
+/// The three storage-backed operand arrays of vectorAdd: `(a, b, out)`.
+pub type VectorAddArrays = (BamArray<f64>, BamArray<f64>, BamArray<f64>);
+
 /// Creates and preloads the two input arrays (`a[i] = i`, `b[i] = 2i`) and an
 /// output array of `n` elements.
 ///
 /// # Errors
 ///
 /// Propagates storage-capacity and media errors.
-pub fn setup(
-    system: &BamSystem,
-    n: u64,
-) -> Result<(BamArray<f64>, BamArray<f64>, BamArray<f64>), BamError> {
+pub fn setup(system: &BamSystem, n: u64) -> Result<VectorAddArrays, BamError> {
     let a = system.create_array::<f64>(n)?;
     let b = system.create_array::<f64>(n)?;
     let out = system.create_array::<f64>(n)?;
@@ -89,7 +89,11 @@ pub fn vectoradd_bam(
     // The output is write-back cached; flush it to storage as the workload's
     // persistence step (§4.4).
     system.flush()?;
-    Ok(VectorAddResult { elements: n, reads: reads.into_inner(), writes: writes.into_inner() })
+    Ok(VectorAddResult {
+        elements: n,
+        reads: reads.into_inner(),
+        writes: writes.into_inner(),
+    })
 }
 
 /// The demand vectorAdd places on a memory system (for the tiling baseline):

@@ -14,8 +14,7 @@ use bam::gpu::{GpuExecutor, GpuSpec};
 use bam::nvme::SsdSpec;
 use bam::timing::SsdArrayModel;
 use bam::workloads::graph::{
-    bfs_bam, bfs_reference, cc_bam, cc_reference, graph_demand, upload_edge_list,
-    DatasetDescriptor,
+    bfs_bam, bfs_reference, cc_bam, cc_reference, graph_demand, upload_edge_list, DatasetDescriptor,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -49,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = graph.nodes_with_degree_at_least(3)[0];
     system.reset_metrics();
     let bfs = bfs_bam(&graph.offsets, &edges, source, &exec)?;
-    assert_eq!(bfs.distances, bfs_reference(&graph, source).distances, "BFS mismatch");
+    assert_eq!(
+        bfs.distances,
+        bfs_reference(&graph, source).distances,
+        "BFS mismatch"
+    );
     let bfs_metrics = system.metrics();
     println!(
         "\nBFS from node {source}: reached {} nodes in {} levels, hit rate {:.1}%",
@@ -62,17 +65,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     system.reset_metrics();
     let cc = cc_bam(&graph.offsets, &edges, &exec)?;
     assert_eq!(cc.labels, cc_reference(&graph).labels, "CC mismatch");
-    println!("CC: {} components in {} iterations", cc.num_components(), cc.iterations);
+    println!(
+        "CC: {} components in {} iterations",
+        cc.num_components(),
+        cc.iterations
+    );
 
     // Paper-style timing: convert the measured counts into the Figure 7
     // comparison against the host-memory Target system (full-scale model).
     let storage = SsdArrayModel::prototype(SsdSpec::intel_optane_p5800x(), 4);
     let bam_model = BamPerformanceModel::new(storage.clone(), 512, 1 << 17);
     let bam_time = bam_model.evaluate(&bfs_metrics, bfs.edges_traversed);
-    let target = TargetSystem::prototype(storage)
-        .evaluate(&graph_demand(&graph, bfs.edges_traversed, 512, 1 << 17));
+    let target = TargetSystem::prototype(storage).evaluate(&graph_demand(
+        &graph,
+        bfs.edges_traversed,
+        512,
+        1 << 17,
+    ));
     println!("\nBFS at this scale — BaM: {bam_time}");
     println!("BFS at this scale — Target (host memory + file load): {target}");
-    println!("BaM vs Target speedup: {:.2}x", bam_time.speedup_vs(&target));
+    println!(
+        "BaM vs Target speedup: {:.2}x",
+        bam_time.speedup_vs(&target)
+    );
     Ok(())
 }

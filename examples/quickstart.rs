@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    cache lines, a 64 KiB software cache, all allocated in simulated GPU
     //    memory — the same structure as the paper's prototype.
     let system = BamSystem::new(BamConfig::test_scale())?;
-    println!("BaM system up: {} SSDs, {} B cache lines", system.config().num_ssds, system.config().cache_line_bytes);
+    println!(
+        "BaM system up: {} SSDs, {} B cache lines",
+        system.config().num_ssds,
+        system.config().cache_line_bytes
+    );
 
     // 2. Map a storage-backed array (the bam::array<T> abstraction) and
     //    preload a dataset onto the SSDs.
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sum.fetch_add(v as u64, std::sync::atomic::Ordering::Relaxed);
         }
     });
-    println!("sum of sqrt values ≈ {}", sum.load(std::sync::atomic::Ordering::Relaxed));
+    println!(
+        "sum of sqrt values ≈ {}",
+        sum.load(std::sync::atomic::Ordering::Relaxed)
+    );
 
     // 4. Inspect what the software stack did.
     let m = system.metrics();

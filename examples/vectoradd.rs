@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exec = GpuExecutor::new(GpuSpec::a100_80gb());
 
     let result = vectoradd_bam(&system, &a, &b, &out, &exec)?;
-    println!("computed {} elements ({} reads, {} writes)", result.elements, result.reads, result.writes);
+    println!(
+        "computed {} elements ({} reads, {} writes)",
+        result.elements, result.reads, result.writes
+    );
 
     // Spot-check durability: out[i] = a[i] + b[i] = 3i, flushed to the SSDs.
     for idx in [0u64, n / 2, n - 1] {

@@ -1,0 +1,239 @@
+//! Offline shim for the `criterion` bench harness.
+//!
+//! Implements the subset of the criterion 0.5 API the bench crate uses —
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately simple
+//! measurement loop: each benchmark closure is warmed once and then timed for
+//! `sample_size` iterations, reporting the mean wall-clock time per
+//! iteration. No statistical analysis, HTML reports, or CLI flags; the point
+//! is that `cargo bench` runs every registered benchmark end to end and
+//! prints comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one parameterized benchmark, e.g. `threads/4`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by `iter`.
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up run (cache fills, lazy init).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.samples.max(1) as f64;
+    }
+}
+
+fn report(group: &str, id: &str, mean_nanos: f64) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if mean_nanos >= 1.0e6 {
+        println!("bench {label:<60} {:>12.3} ms/iter", mean_nanos / 1.0e6);
+    } else if mean_nanos >= 1.0e3 {
+        println!("bench {label:<60} {:>12.3} us/iter", mean_nanos / 1.0e3);
+    } else {
+        println!("bench {label:<60} {:>12.1} ns/iter", mean_nanos);
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's fixed-count loop ignores it.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's fixed-count loop ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: &str, routine: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_nanos: 0.0,
+        };
+        routine(&mut bencher);
+        report(&self.name, id, bencher.mean_nanos);
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().0;
+        self.run(&id, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.id.clone();
+        self.run(&id, |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Either a `&str` name or a full `BenchmarkId`, accepted by `bench_function`.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.id)
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: Option<usize>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.unwrap_or(10);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut group = self.benchmark_group("");
+        group.run(&id, routine);
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = Some(n.max(1));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; this shim takes none.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_chains() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3).warm_up_time(Duration::from_millis(1));
+            g.bench_function("count_calls", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| {
+            b.iter(|| assert_eq!(x * 2, 42))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The BaM workspace derives `Serialize`/`Deserialize` on its config and
+//! result structs so downstream tooling *could* persist them, but nothing in
+//! the repo actually serializes today and the build container has no
+//! crates.io access. This shim keeps the annotations compiling: the traits
+//! are empty markers and the derives (re-exported from the companion
+//! `serde_derive` proc-macro crate) emit empty impls. Swapping in real serde
+//! later is a one-line Cargo change; no source edits required.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,70 @@
+//! Offline shim for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` here emit *empty* impls
+//! of the marker traits in the shim `serde` crate. The parser is intentionally
+//! small (no `syn`/`quote` available offline): it scans the item's tokens for
+//! the `struct`/`enum` keyword and takes the following identifier as the type
+//! name. Generic types are rejected with a compile error rather than
+//! mis-expanded; none of the workspace's serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract the type name a `derive` input declares, skipping outer attributes
+/// (`#[...]`, including doc comments) and visibility qualifiers.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Swallow the attribute's bracket group.
+                match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.next();
+                    }
+                    _ => return Err("malformed attribute in derive input".into()),
+                }
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        _ => return Err(format!("expected a name after `{word}`")),
+                    };
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "serde shim cannot derive for generic type `{name}`; \
+                             write the impl by hand"
+                        ));
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)` (the parenthesized part arrives as a
+                // Group and is skipped by the catch-all arm), etc.
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum/union found in derive input".into())
+}
+
+fn marker_impl(input: TokenStream, template: fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template(&name).parse().expect("shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, |name| {
+        format!("impl serde::Serialize for {name} {{}}")
+    })
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, |name| {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -5,8 +5,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bam::core::{BamConfig, BamError, BamSystem};
 use bam::core::BamQueuePair;
+use bam::core::{BamConfig, BamError, BamSystem};
 use bam::gpu::{GpuExecutor, GpuSpec};
 use bam::mem::{BumpAllocator, ByteRegion};
 use bam::nvme::{NvmeCommand, NvmeStatus, SsdDevice, SsdSpec};
@@ -19,10 +19,13 @@ fn injected_device_errors_are_delivered_to_the_right_thread() {
     let alloc = BumpAllocator::new(region.len() as u64);
     let mut ssd = SsdDevice::new(SsdSpec::intel_optane_p5800x(), region.clone(), 4 << 20);
     // Fail every command whose LBA is in the "poisoned" range.
-    ssd.controller().set_fault_injector(Some(Arc::new(|cmd: &NvmeCommand| {
-        (cmd.slba >= 1000 && cmd.slba < 1100).then_some(NvmeStatus::InternalError)
-    })));
-    let qp = Arc::new(BamQueuePair::new(ssd.create_queue_pair(&alloc, 32).unwrap()));
+    ssd.controller()
+        .set_fault_injector(Some(Arc::new(|cmd: &NvmeCommand| {
+            (cmd.slba >= 1000 && cmd.slba < 1100).then_some(NvmeStatus::InternalError)
+        })));
+    let qp = Arc::new(BamQueuePair::new(
+        ssd.create_queue_pair(&alloc, 32).unwrap(),
+    ));
     ssd.start();
 
     let failures = AtomicU64::new(0);
@@ -51,8 +54,14 @@ fn injected_device_errors_are_delivered_to_the_right_thread() {
             });
         }
     });
-    assert_eq!(failures.load(Ordering::Relaxed) + successes.load(Ordering::Relaxed), 360);
-    assert!(failures.load(Ordering::Relaxed) > 0, "the poisoned range must have been hit");
+    assert_eq!(
+        failures.load(Ordering::Relaxed) + successes.load(Ordering::Relaxed),
+        360
+    );
+    assert!(
+        failures.load(Ordering::Relaxed) > 0,
+        "the poisoned range must have been hit"
+    );
 }
 
 /// A cache-miss fetch that fails on the device propagates the error, leaves
@@ -74,13 +83,21 @@ fn cache_miss_errors_do_not_wedge_the_line() {
     let mut ssd = SsdDevice::new(SsdSpec::intel_optane_p5800x(), region.clone(), 4 << 20);
     let flag = Arc::new(std::sync::atomic::AtomicBool::new(true));
     let flag_in_injector = flag.clone();
-    ssd.controller().set_fault_injector(Some(Arc::new(move |_cmd: &NvmeCommand| {
-        flag_in_injector.load(Ordering::Relaxed).then_some(NvmeStatus::InternalError)
-    })));
-    let qp = Arc::new(BamQueuePair::new(ssd.create_queue_pair(&alloc, 16).unwrap()));
+    ssd.controller()
+        .set_fault_injector(Some(Arc::new(move |_cmd: &NvmeCommand| {
+            flag_in_injector
+                .load(Ordering::Relaxed)
+                .then_some(NvmeStatus::InternalError)
+        })));
+    let qp = Arc::new(BamQueuePair::new(
+        ssd.create_queue_pair(&alloc, 16).unwrap(),
+    ));
     ssd.start();
     let dst = alloc.alloc(512, 512).unwrap();
-    assert!(matches!(qp.read_and_wait(5, 1, dst), Err(BamError::Storage(_))));
+    assert!(matches!(
+        qp.read_and_wait(5, 1, dst),
+        Err(BamError::Storage(_))
+    ));
     // Clear the fault: the same queue serves the retry.
     flag.store(false, Ordering::Relaxed);
     assert!(qp.read_and_wait(5, 1, dst).is_ok());
@@ -100,7 +117,10 @@ fn resource_exhaustion_is_reported_cleanly() {
     let mut cfg = BamConfig::test_scale();
     cfg.cache_bytes = 1 << 30;
     cfg.gpu_memory_bytes = 1 << 20;
-    assert!(matches!(BamSystem::new(cfg), Err(BamError::OutOfDeviceMemory { .. })));
+    assert!(matches!(
+        BamSystem::new(cfg),
+        Err(BamError::OutOfDeviceMemory { .. })
+    ));
 }
 
 /// When every cache slot is pinned by concurrent threads, further misses

@@ -52,7 +52,10 @@ fn analytics_queries_match_reference_and_keep_amplification_low() {
         assert_eq!(got.selected_rows, want.selected_rows, "Q{q}");
         assert!((got.aggregate - want.aggregate).abs() < 1e-6 * want.aggregate.abs().max(1.0));
         // On-demand access keeps amplification bounded even at 512 B lines.
-        assert!(system.metrics().io_amplification() < 16.0, "Q{q} amplification");
+        assert!(
+            system.metrics().io_amplification() < 16.0,
+            "Q{q} amplification"
+        );
     }
 }
 
@@ -77,7 +80,8 @@ fn striped_layout_roundtrips_through_the_full_stack() {
     config.num_ssds = 3;
     let system = BamSystem::new(config).unwrap();
     let arr = system.create_array::<u64>(20_000).unwrap();
-    arr.preload(&(0..20_000u64).map(|i| i * 11).collect::<Vec<_>>()).unwrap();
+    arr.preload(&(0..20_000u64).map(|i| i * 11).collect::<Vec<_>>())
+        .unwrap();
     let exec = executor();
     let errors = std::sync::atomic::AtomicUsize::new(0);
     exec.launch(20_000, |warp| {
@@ -101,7 +105,10 @@ fn striped_layout_roundtrips_through_the_full_stack() {
     assert_eq!(errors.load(std::sync::atomic::Ordering::Relaxed), 0);
     // Striping spreads reads across all three devices.
     let stats = system.ssd_stats();
-    assert!(stats.iter().all(|s| s.read_commands > 0), "all devices must serve reads: {stats:?}");
+    assert!(
+        stats.iter().all(|s| s.read_commands > 0),
+        "all devices must serve reads: {stats:?}"
+    );
 }
 
 #[test]
@@ -110,7 +117,9 @@ fn uncached_and_cached_systems_agree_on_data() {
     let mut uncached_cfg = BamConfig::test_scale();
     uncached_cfg.use_cache = false;
     let uncached = BamSystem::new(uncached_cfg).unwrap();
-    let values: Vec<u32> = (0..5_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let values: Vec<u32> = (0..5_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let a1 = cached.create_array::<u32>(5_000).unwrap();
     let a2 = uncached.create_array::<u32>(5_000).unwrap();
     a1.preload(&values).unwrap();

@@ -8,13 +8,13 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
+use bam::core::BamQueuePair;
 use bam::core::{BamConfig, BamSystem};
 use bam::gpu::warp::{ballot, groups, match_any, WARP_SIZE};
+use bam::gpu::{GpuExecutor, GpuSpec};
 use bam::mem::{BumpAllocator, ByteRegion};
 use bam::nvme::{NvmeCommand, NvmeCompletion, SsdDevice, SsdSpec};
 use bam::workloads::graph::{bfs_bam, bfs_reference, upload_edge_list, CsrGraph};
-use bam::core::BamQueuePair;
-use bam::gpu::{GpuExecutor, GpuSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
