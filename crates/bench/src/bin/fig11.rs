@@ -1,8 +1,15 @@
 //! Regenerates Figure 11: NVMe queue-pair count sensitivity (K dataset).
+//!
+//! Each sweep point is produced twice — by the closed-form storage envelope
+//! and by the `bam-sim` event engine — and both slowdowns are printed side by
+//! side as a cross-check. Pass `--json` to also write `BENCH_fig11.json`.
+use bam_bench::jsonout::{json_array, json_mode, write_bench_json, JsonObject};
 use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
 
+const SEED: u64 = 11;
+
 fn main() {
-    let rows = graph_exp::figure11(GRAPH_SCALE, 11);
+    let rows = graph_exp::figure11(GRAPH_SCALE, SEED);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -10,12 +17,36 @@ fn main() {
                 r.workload.label().to_string(),
                 r.queue_pairs.to_string(),
                 format!("{:.2}x", r.slowdown),
+                format!("{:.2}x", r.sim_slowdown),
+                format!("{:.1}", r.sim_p99_us),
             ]
         })
         .collect();
     print_table(
-        "Figure 11: queue-pair sweep (K dataset, relative to 128 queue pairs)",
-        &["Workload", "Queue pairs", "Slowdown"],
+        "Figure 11: queue-pair sweep (K dataset, relative to 128 queue pairs; analytic vs event-driven)",
+        &["Workload", "Queue pairs", "Slowdown", "Sim slowdown", "Sim p99 (us)"],
         &table,
     );
+    if json_mode() {
+        let body = JsonObject::new()
+            .str("bench", "fig11")
+            .int("seed", SEED)
+            .raw(
+                "rows",
+                json_array(rows.iter().map(|r| {
+                    JsonObject::new()
+                        .str("workload", r.workload.label())
+                        .int("queue_pairs", u64::from(r.queue_pairs))
+                        .num("analytic_slowdown", r.slowdown)
+                        .num("sim_slowdown", r.sim_slowdown)
+                        .num("analytic_total_s", r.analytic_total_s)
+                        .num("sim_total_s", r.sim_total_s)
+                        .num("sim_p99_us", r.sim_p99_us)
+                        .build()
+                })),
+            )
+            .build();
+        let path = write_bench_json("fig11", &body).expect("write BENCH_fig11.json");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -1,5 +1,6 @@
 //! Regenerates Figure 4: 512 B random read/write IOPS scaling with request
-//! count and SSD count.
+//! count and SSD count. Pass `--json` to also write `BENCH_fig4.json`.
+use bam_bench::jsonout::{json_array, json_mode, write_bench_json, JsonObject};
 use bam_bench::{micro_exp, print_table};
 
 fn main() {
@@ -21,4 +22,28 @@ fn main() {
         &["SSDs", "Requests", "Read MIOPS", "Write MIOPS"],
         &table,
     );
+    if json_mode() {
+        let body = JsonObject::new()
+            .str("bench", "fig4")
+            .raw(
+                "rows",
+                json_array(rows.iter().map(|r| {
+                    // Projected seconds to drain the request count at the
+                    // achieved rate — the drift-tracking scalar for this row.
+                    let read_s = r.requests as f64 / (r.read_miops * 1e6);
+                    let write_s = r.requests as f64 / (r.write_miops * 1e6);
+                    JsonObject::new()
+                        .int("num_ssds", r.num_ssds as u64)
+                        .int("requests", r.requests)
+                        .num("read_miops", r.read_miops)
+                        .num("write_miops", r.write_miops)
+                        .num("projected_read_s", read_s)
+                        .num("projected_write_s", write_s)
+                        .build()
+                })),
+            )
+            .build();
+        let path = write_bench_json("fig4", &body).expect("write BENCH_fig4.json");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -23,7 +23,8 @@
 //! | [`graph_exp::figure8`] | Fig 8 (sources of improvement) |
 //! | [`graph_exp::figure9`] | Fig 9 (SSD technology slowdown) |
 //! | [`graph_exp::figure10`] | Fig 10 (cache-size sensitivity) |
-//! | [`graph_exp::figure11`] | Fig 11 (queue-pair sensitivity) |
+//! | [`graph_exp::figure11`] | Fig 11 (queue-pair sensitivity, analytic + event-driven) |
+//! | [`sim_exp::latency_cdf`] | Tail-latency CDFs per SSD technology (event-driven; extends Fig 9 / Table 2) |
 //! | [`analytics_exp::figure12`] | Fig 12 (BaM vs RAPIDS, I/O amplification) |
 //! | [`misc_exp::figure13`] | Fig 13 (register usage) |
 //! | [`analytics_exp::figure14`] | Fig 14 (RAPIDS breakdown) |
@@ -32,9 +33,11 @@
 
 pub mod analytics_exp;
 pub mod graph_exp;
+pub mod jsonout;
 pub mod micro_exp;
 pub mod misc_exp;
 pub mod scale;
+pub mod sim_exp;
 
 /// Prints a table of rows as aligned columns on stdout (shared by the
 /// figure binaries).

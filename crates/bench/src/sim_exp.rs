@@ -1,0 +1,220 @@
+//! Event-driven experiments: tail-latency CDFs and the simulated half of the
+//! Figure 11 queue-pair sweep.
+//!
+//! These harnesses drive `bam-sim` — the reproduction's third methodology
+//! layer — and print the matching analytic numbers alongside, so every
+//! simulated result is cross-checked against the closed-form envelope it
+//! must agree with in the mean.
+
+use bam_nvme_sim::SsdSpec;
+use bam_pcie::LinkSpec;
+use bam_sim::{engine, PipelineParams, SimConfig, SimReport, Workload};
+use bam_timing::{required_queue_depth, SsdArrayModel};
+use serde::{Deserialize, Serialize};
+
+/// Requests simulated per configuration. The stream is a steady-state sample:
+/// rates measured over it are applied to full-scale request counts.
+pub const SAMPLE_REQUESTS: u64 = 30_000;
+
+/// Outstanding requests for saturated closed-loop sweeps — far above every
+/// knee in play (the largest is the 980 Pro's ~1K bandwidth-latency product)
+/// yet cheap to simulate.
+pub const SWEEP_IN_FLIGHT: u32 = 2048;
+
+/// One row of the `latency_cdf` experiment: one device technology at one
+/// closed-loop depth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyCdfRow {
+    /// Device name (Table 2 row).
+    pub device: String,
+    /// Closed-loop depth as a multiple of the bandwidth-latency product.
+    pub depth_multiplier: f64,
+    /// Concurrently outstanding requests.
+    pub in_flight: u32,
+    /// Simulated throughput in million IOPS.
+    pub achieved_miops: f64,
+    /// Simulated mean in-flight depth (steady state).
+    pub mean_in_flight: f64,
+    /// Simulated latency percentiles, in microseconds.
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// 99.9th percentile (µs).
+    pub p999_us: f64,
+    /// Simulated mean latency (µs).
+    pub mean_us: f64,
+    /// Analytic check: the array's peak IOPS envelope (millions).
+    pub analytic_peak_miops: f64,
+    /// Analytic check: the spec's published mean latency (µs).
+    pub analytic_latency_us: f64,
+    /// Analytic check: `required_queue_depth` at the peak (§2.2).
+    pub analytic_depth: u64,
+}
+
+/// Tail-latency CDFs for the three Table-2 SSD technologies behind a 4-SSD
+/// array at `access_bytes` granularity, each at 0.5×, 1×, and 2× its
+/// bandwidth-latency product (Fig 9 / Table 2, event-driven).
+pub fn latency_cdf(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<LatencyCdfRow> {
+    let mut rows = Vec::new();
+    for spec in [
+        SsdSpec::intel_optane_p5800x(),
+        SsdSpec::samsung_pm1735(),
+        SsdSpec::samsung_980pro(),
+    ] {
+        let model = SsdArrayModel::prototype(spec.clone(), num_ssds);
+        let peak = model.peak_read_iops(access_bytes);
+        let qd = required_queue_depth(peak, spec.read_latency_us).max(1);
+        for multiplier in [0.5, 1.0, 2.0] {
+            let in_flight = ((qd as f64 * multiplier).round() as u32).max(1);
+            let config = SimConfig {
+                seed,
+                num_ssds: num_ssds as u32,
+                queue_pairs_per_ssd: spec.max_queue_pairs,
+                pipeline: PipelineParams::from_specs(
+                    &spec,
+                    &LinkSpec::gen4_x4(),
+                    &LinkSpec::gen4_x16(),
+                    access_bytes,
+                ),
+            };
+            let reqs = engine::uniform_reads(&config, SAMPLE_REQUESTS);
+            let report = engine::run(&config, Workload::ClosedLoop { in_flight }, &reqs);
+            rows.push(LatencyCdfRow {
+                device: spec.name.clone(),
+                depth_multiplier: multiplier,
+                in_flight,
+                achieved_miops: report.throughput_per_s / 1e6,
+                mean_in_flight: report.depth.steady_state_mean(),
+                p50_us: report.latency.p50_us,
+                p95_us: report.latency.p95_us,
+                p99_us: report.latency.p99_us,
+                p999_us: report.latency.p999_us,
+                mean_us: report.latency.mean_us,
+                analytic_peak_miops: peak / 1e6,
+                analytic_latency_us: spec.read_latency_us,
+                analytic_depth: qd,
+            });
+        }
+    }
+    rows
+}
+
+/// Simulated storage phase of one Figure-11 configuration: a 4-SSD Optane
+/// array limited to `queue_pairs_total` queue pairs serving the measured
+/// read/write mix. Returns the simulated seconds for the full-scale request
+/// counts plus the run report.
+///
+/// # Panics
+///
+/// Panics unless `queue_pairs_total` is a positive multiple of `num_ssds` —
+/// the engine models identical devices, so an uneven split would silently
+/// simulate a different configuration than requested.
+pub fn simulated_storage_time(
+    spec: SsdSpec,
+    num_ssds: usize,
+    queue_pairs_total: u32,
+    access_bytes: u64,
+    reads: u64,
+    writes: u64,
+    seed: u64,
+) -> (f64, SimReport) {
+    assert!(
+        queue_pairs_total > 0 && queue_pairs_total.is_multiple_of(num_ssds as u32),
+        "queue_pairs_total ({queue_pairs_total}) must be a positive multiple of num_ssds ({num_ssds})"
+    );
+    let queue_pairs_per_ssd = queue_pairs_total / num_ssds as u32;
+    let config = SimConfig {
+        seed,
+        num_ssds: num_ssds as u32,
+        queue_pairs_per_ssd,
+        pipeline: PipelineParams::from_specs(
+            &spec,
+            &LinkSpec::gen4_x4(),
+            &LinkSpec::gen4_x16(),
+            access_bytes,
+        ),
+    };
+    let total = reads + writes;
+    let sample_writes = if total == 0 {
+        0
+    } else {
+        (SAMPLE_REQUESTS as u128 * writes as u128 / total as u128) as u64
+    };
+    let reqs = engine::mixed_requests(&config, SAMPLE_REQUESTS, sample_writes);
+    let report = engine::run(
+        &config,
+        Workload::ClosedLoop {
+            in_flight: SWEEP_IN_FLIGHT,
+        },
+        &reqs,
+    );
+    let seconds = total as f64 / report.throughput_per_s;
+    (seconds, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_cdf_shapes_match_table2() {
+        let rows = latency_cdf(4, 4096, 11);
+        assert_eq!(rows.len(), 9, "3 devices x 3 depths");
+        let at = |device: &str, mult: f64| {
+            rows.iter()
+                .find(|r| r.device.contains(device) && r.depth_multiplier == mult)
+                .unwrap()
+        };
+        // At half the bandwidth-latency product the device is unsaturated and
+        // p50 sits near the published latency; at 2x the queues double the
+        // sojourn time while throughput stays pinned at the peak.
+        for device in ["Optane", "PM1735", "980pro"] {
+            let half = at(device, 0.5);
+            let double = at(device, 2.0);
+            assert!(
+                half.p50_us <= half.analytic_latency_us * 1.5,
+                "{device}: unsaturated p50 {} vs latency {}",
+                half.p50_us,
+                half.analytic_latency_us
+            );
+            assert!(
+                double.mean_us > half.mean_us * 1.5,
+                "{device}: overdriving must inflate latency"
+            );
+            assert!(
+                double.achieved_miops <= double.analytic_peak_miops * 1.10,
+                "{device}: sim must respect the analytic envelope"
+            );
+        }
+        // Tails order by technology: NAND flash >> Z-NAND > Optane.
+        assert!(at("980pro", 1.0).p999_us > at("Optane", 1.0).p999_us * 5.0);
+        assert!(at("PM1735", 1.0).p999_us > at("Optane", 1.0).p999_us);
+    }
+
+    #[test]
+    fn latency_cdf_is_deterministic() {
+        let a = latency_cdf(4, 4096, 5);
+        let b = latency_cdf(4, 4096, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.p999_us, y.p999_us);
+            assert_eq!(x.achieved_miops, y.achieved_miops);
+        }
+    }
+
+    #[test]
+    fn queue_pair_sweep_storage_time_degrades_below_the_knee() {
+        let spec = SsdSpec::intel_optane_p5800x;
+        let (t128, _) = simulated_storage_time(spec(), 4, 128, 4096, 10_000_000, 0, 3);
+        let (t48, _) = simulated_storage_time(spec(), 4, 48, 4096, 10_000_000, 0, 3);
+        let (t32, r32) = simulated_storage_time(spec(), 4, 32, 4096, 10_000_000, 0, 3);
+        assert!(
+            (t48 / t128 - 1.0).abs() < 0.10,
+            "flat region: {t48} vs {t128}"
+        );
+        assert!(t32 > t128 * 1.1, "below the knee: {t32} vs {t128}");
+        // The starved queue pairs are visibly backed up.
+        assert!(r32.queue_occupancy_mean > 1.0);
+    }
+}

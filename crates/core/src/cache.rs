@@ -492,6 +492,103 @@ mod tests {
     }
 
     #[test]
+    fn clock_skips_pinned_lines_under_pinning_pressure() {
+        // All but one slot pinned: the clock hand must pass over every pinned
+        // line (however many sweeps that takes) and keep serving an arbitrary
+        // stream of other lines through the single free slot — terminating,
+        // never evicting a pinned line.
+        let (_d, gpu, cache) = rig(8);
+        let pinned: Vec<LineGuard<'_>> = (0..7).map(|l| cache.acquire(l).unwrap()).collect();
+        for line in 7..64u64 {
+            let g = cache.acquire(line).unwrap();
+            let mut buf = [0u8; 512];
+            gpu.read_bytes(g.addr(), &mut buf);
+            assert!(buf.iter().all(|&b| b == line as u8), "line {line}");
+        }
+        // Every pinned line is still resident with its pin intact.
+        for g in &pinned {
+            let (state, refs, _) = cache.line_debug(g.line());
+            assert_eq!(state, STATE_VALID as u8, "line {} evicted", g.line());
+            assert_eq!(refs, 1);
+            let mut buf = [0u8; 512];
+            gpu.read_bytes(g.addr(), &mut buf);
+            assert!(buf.iter().all(|&b| b == g.line() as u8));
+        }
+    }
+
+    /// A backing store that checks, at fetch time, that the previously
+    /// evicted dirty line's data has already reached the media — i.e. the
+    /// write-back happens *before* the slot is handed to the new line.
+    struct WritebackOrderProbe {
+        inner: MemoryBacking,
+        data: Arc<ByteRegion>,
+        /// `(dirty_line, expected_byte)` to verify on the next fetch.
+        expectation: std::sync::Mutex<Option<(u64, u8)>>,
+        verified: std::sync::atomic::AtomicBool,
+    }
+
+    impl CacheBacking for WritebackOrderProbe {
+        fn line_bytes(&self) -> u64 {
+            self.inner.line_bytes()
+        }
+
+        fn num_lines(&self) -> u64 {
+            self.inner.num_lines()
+        }
+
+        fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
+            if let Some((dirty_line, expected)) = self.expectation.lock().expect("poisoned").take()
+            {
+                let mut media = [0u8; 512];
+                self.data.read_bytes(dirty_line * 512, &mut media);
+                assert!(
+                    media.iter().all(|&b| b == expected),
+                    "slot reused for line {line} before line {dirty_line} reached the media"
+                );
+                self.verified
+                    .store(true, std::sync::atomic::Ordering::Release);
+            }
+            self.inner.fetch_line(line, dst)
+        }
+
+        fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
+            self.inner.writeback_line(line, src)
+        }
+    }
+
+    #[test]
+    fn dirty_victim_reaches_backing_store_before_slot_reuse() {
+        let data = Arc::new(ByteRegion::new(64 * 512));
+        let gpu = Arc::new(ByteRegion::new(1 << 20));
+        let probe = Arc::new(WritebackOrderProbe {
+            inner: MemoryBacking::new(data.clone(), 0, gpu.clone(), 512, 64),
+            data: data.clone(),
+            expectation: std::sync::Mutex::new(None),
+            verified: std::sync::atomic::AtomicBool::new(false),
+        });
+        let metrics = Arc::new(BamMetrics::new());
+        let cache = BamCache::new(probe.clone(), metrics, 0, 1);
+        // Dirty line 3 in the single slot...
+        {
+            let g = cache.acquire(3).unwrap();
+            gpu.write_bytes(g.addr(), &[0xD7u8; 512]);
+            g.mark_dirty();
+        }
+        // ...then demand a different line. The probe asserts, from inside the
+        // replacement fetch, that line 3's bytes are already on the media.
+        *probe.expectation.lock().unwrap() = Some((3, 0xD7));
+        let g = cache.acquire(9).unwrap();
+        assert!(
+            probe.verified.load(std::sync::atomic::Ordering::Acquire),
+            "fetch happened without exercising the ordering probe"
+        );
+        drop(g);
+        let mut media = [0u8; 512];
+        data.read_bytes(3 * 512, &mut media);
+        assert!(media.iter().all(|&b| b == 0xD7));
+    }
+
+    #[test]
     fn thrashing_is_reported_not_hung() {
         let (_d, _g, cache) = rig(2);
         let _g0 = cache.acquire(0).unwrap();

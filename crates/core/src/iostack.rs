@@ -5,11 +5,11 @@
 //! under striping) and across each SSD's queue pairs round-robin, exactly as
 //! the prototype distributes its microbenchmark traffic (§4.3).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use bam_mem::DevAddr;
-use bam_nvme_sim::{DataLayout, NvmeCommand, SsdArray, BLOCK_SIZE};
+use bam_nvme_sim::{DataLayout, IoEvent, NvmeCommand, SimHook, SsdArray, BLOCK_SIZE};
 
 use crate::backing::CacheBacking;
 use crate::error::BamError;
@@ -28,6 +28,11 @@ pub struct IoStack {
     line_bytes: u64,
     num_lines: u64,
     metrics: Arc<BamMetrics>,
+    /// Optional event-simulation hook (see `bam_nvme_sim::hook`).
+    sim_hook: RwLock<Option<Arc<dyn SimHook>>>,
+    /// Fast-path flag mirroring `sim_hook.is_some()`: with no hook installed
+    /// (the default) the submission path pays one relaxed load, no lock.
+    sim_hook_installed: AtomicBool,
 }
 
 impl std::fmt::Debug for IoStack {
@@ -78,6 +83,37 @@ impl IoStack {
             line_bytes,
             num_lines,
             metrics,
+            sim_hook: RwLock::new(None),
+            sim_hook_installed: AtomicBool::new(false),
+        }
+    }
+
+    /// Installs `hook` on this stack *and* on every device controller of the
+    /// underlying array, so one call instruments the whole submission→fetch→
+    /// completion pipeline. `None` uninstruments everything.
+    pub fn set_sim_hook(&self, hook: Option<Arc<dyn SimHook>>) {
+        self.array.set_sim_hook(hook.clone());
+        let installed = hook.is_some();
+        *self.sim_hook.write().expect("sim hook lock poisoned") = hook;
+        self.sim_hook_installed.store(installed, Ordering::Release);
+    }
+
+    fn emit_submit(&self, device: usize, queue: u16, write: bool) {
+        if !self.sim_hook_installed.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(hook) = self
+            .sim_hook
+            .read()
+            .expect("sim hook lock poisoned")
+            .as_ref()
+        {
+            hook.on_submit(&IoEvent {
+                device: device as u32,
+                queue,
+                write,
+                bytes: self.line_bytes,
+            });
         }
     }
 
@@ -133,6 +169,9 @@ impl IoStack {
         let (device, lba) = self.array.locate_read(logical_lba, rr);
         let qp = self.pick_queue(device);
         qp.submit_and_wait(NvmeCommand::read(0, lba, self.blocks_per_line(), dst))?;
+        // Emitted alongside the metrics so trace length and request counters
+        // agree 1:1 (failed commands appear in neither).
+        self.emit_submit(device, qp.queue_id(), false);
         self.metrics.record_read_request(self.line_bytes);
         Ok(())
     }
@@ -151,6 +190,7 @@ impl IoStack {
         for (device, lba) in self.array.locate_write(logical_lba) {
             let qp = self.pick_queue(device);
             qp.submit_and_wait(NvmeCommand::write(0, lba, self.blocks_per_line(), src))?;
+            self.emit_submit(device, qp.queue_id(), true);
             self.metrics.record_write_request(self.line_bytes);
         }
         Ok(())

@@ -86,6 +86,34 @@ impl MetricsSnapshot {
     }
 }
 
+impl std::fmt::Display for MetricsSnapshot {
+    /// Two human-readable lines: cache behaviour, then storage traffic — the
+    /// summary every example and harness wants to print.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, \
+             coalescing saved {} probes, {} reference reuses",
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.cache_evictions,
+            self.coalesced_accesses,
+            self.reused_references
+        )?;
+        write!(
+            f,
+            "storage: {} reads / {} writes, {} B read, {} B written, \
+             I/O amplification {:.2}x",
+            self.read_requests,
+            self.write_requests,
+            self.bytes_read,
+            self.bytes_written,
+            self.io_amplification()
+        )
+    }
+}
+
 impl BamMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
@@ -199,6 +227,19 @@ mod tests {
         let s = BamMetrics::new().snapshot();
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.io_amplification(), 1.0);
+    }
+
+    #[test]
+    fn display_summarizes_cache_and_storage() {
+        let m = BamMetrics::new();
+        m.record_hit();
+        m.record_miss();
+        m.record_read_request(4096);
+        m.record_requested_bytes(2048);
+        let s = m.snapshot().to_string();
+        assert!(s.contains("50.0% hit rate"), "{s}");
+        assert!(s.contains("I/O amplification 2.00x"), "{s}");
+        assert!(s.lines().count() == 2, "{s}");
     }
 
     #[test]

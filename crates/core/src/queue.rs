@@ -134,6 +134,11 @@ impl BamQueuePair {
         self.capacity
     }
 
+    /// Id of the underlying NVMe queue pair.
+    pub fn queue_id(&self) -> u16 {
+        self.qp.id.0
+    }
+
     /// MMIO doorbell writes made so far on the SQ tail doorbell; with many
     /// threads submitting this is far smaller than the number of commands —
     /// the doorbell-coalescing benefit measured in the ablation bench.

@@ -324,6 +324,15 @@ impl BamSystem {
         self.inner.array.stats()
     }
 
+    /// Installs (or, with `None`, removes) a [`bam_nvme_sim::SimHook`] on the
+    /// I/O stack and every SSD controller, so an event-driven simulation
+    /// (`bam-sim`) can observe the submission→fetch→completion stream of a
+    /// functional run. The default is no hook; the functional path is
+    /// unaffected either way.
+    pub fn set_sim_hook(&self, hook: Option<Arc<dyn bam_nvme_sim::SimHook>>) {
+        self.inner.iostack.set_sim_hook(hook);
+    }
+
     /// Total NVMe commands submitted through the BaM queues.
     pub fn total_submissions(&self) -> u64 {
         self.inner.iostack.total_submissions()

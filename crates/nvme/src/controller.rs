@@ -14,6 +14,7 @@ use bam_mem::ByteRegion;
 
 use crate::block::BlockStore;
 use crate::command::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus};
+use crate::hook::{IoEvent, SimHook};
 use crate::queue::QueuePair;
 use crate::stats::ControllerStats;
 
@@ -43,6 +44,8 @@ pub struct NvmeController {
     queues: RwLock<Vec<(Arc<QueuePair>, Mutex<DeviceQueueState>)>>,
     stats: Arc<ControllerStats>,
     fault_injector: RwLock<Option<Arc<FaultInjector>>>,
+    /// Event-simulation hook plus the device index reported in its events.
+    sim_hook: RwLock<Option<(Arc<dyn SimHook>, u32)>>,
 }
 
 impl std::fmt::Debug for NvmeController {
@@ -63,6 +66,7 @@ impl NvmeController {
             queues: RwLock::new(Vec::new()),
             stats: Arc::new(ControllerStats::new()),
             fault_injector: RwLock::new(None),
+            sim_hook: RwLock::new(None),
         }
     }
 
@@ -85,6 +89,12 @@ impl NvmeController {
     /// Installs (or clears) a fault injector.
     pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
         *self.fault_injector.write() = injector;
+    }
+
+    /// Installs (or clears) a [`SimHook`]. Events emitted by this controller
+    /// carry `device_index` so arrays can tell their devices apart.
+    pub fn set_sim_hook(&self, hook: Option<Arc<dyn SimHook>>, device_index: u32) {
+        *self.sim_hook.write() = hook.map(|h| (h, device_index));
     }
 
     /// Registers a queue pair with the controller.
@@ -159,6 +169,8 @@ impl NvmeController {
             st.last_seen_tail = tail;
             self.stats.record_doorbell();
         }
+        let hook = self.sim_hook.read().clone();
+        let block_bytes = self.store.block_size() as u64;
         let entries = qp.entries;
         let mut processed = 0usize;
         while st.sq_head != tail {
@@ -173,6 +185,19 @@ impl NvmeController {
                 // retry later without advancing.
                 break;
             };
+            let sim_event = hook.as_ref().map(|(h, device)| {
+                let ev = IoEvent {
+                    device: *device,
+                    queue: qp.id.0,
+                    write: cmd.opcode != NvmeOpcode::Read,
+                    bytes: match cmd.opcode {
+                        NvmeOpcode::Flush => 0,
+                        _ => u64::from(cmd.nlb) * block_bytes,
+                    },
+                };
+                h.on_device_fetch(&ev);
+                (h, ev)
+            });
             let status = self.execute(&cmd);
             st.sq_head = (st.sq_head + 1) % entries;
             // Publish the DMA'd data before the completion entry becomes
@@ -189,6 +214,9 @@ impl NvmeController {
                 phase: !st.phase, // the *new* entry carries the inverted phase of the previous lap
             };
             qp.write_cq_entry(st.cq_tail, &completion);
+            if let Some((h, ev)) = sim_event {
+                h.on_complete(&ev);
+            }
             self.stats.record_completion();
             st.cq_tail += 1;
             if st.cq_tail == entries {

@@ -90,6 +90,12 @@ impl SsdDevice {
         self.controller.stats().snapshot()
     }
 
+    /// Installs (or clears) a [`crate::hook::SimHook`] on this device's
+    /// controller; events it emits carry `device_index`.
+    pub fn set_sim_hook(&self, hook: Option<Arc<dyn crate::hook::SimHook>>, device_index: u32) {
+        self.controller.set_sim_hook(hook, device_index);
+    }
+
     /// Allocates and registers an I/O queue pair of `entries` entries whose
     /// rings live in `alloc`'s region (the GPU memory).
     ///

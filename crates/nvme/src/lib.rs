@@ -22,6 +22,9 @@
 //!   the exact mechanism BaM's queue protocol relies on (§3.3).
 //! * [`array::SsdArray`] — multi-SSD aggregation with the replication and
 //!   striping layouts used in the evaluation.
+//! * [`hook::SimHook`] — no-op-by-default instrumentation points
+//!   (submission, controller fetch, completion) through which `bam-sim`
+//!   captures I/O streams for event-driven latency simulation.
 //!
 //! The controller is *functionally* accurate (real data movement, real
 //! queue-protocol interactions); performance is modelled analytically by
@@ -35,6 +38,7 @@ pub mod controller;
 pub mod device;
 pub mod doorbell;
 pub mod error;
+pub mod hook;
 pub mod queue;
 pub mod spec;
 pub mod stats;
@@ -46,6 +50,7 @@ pub use controller::NvmeController;
 pub use device::SsdDevice;
 pub use doorbell::Doorbell;
 pub use error::NvmeError;
+pub use hook::{IoEvent, NopSimHook, SimHook};
 pub use queue::{QueueId, QueuePair};
 pub use spec::{SsdSpec, SsdTechnology};
 pub use stats::{ControllerStats, StatsSnapshot};

@@ -1,0 +1,150 @@
+//! Seedable latency distributions.
+//!
+//! Service times in the engine are drawn from one of three families: `Fixed`
+//! (deterministic pipelines, Little's-law validation), `Uniform` (bounded
+//! jitter), and `LogNormal` (the heavy-tailed shape real SSD media exhibits —
+//! NAND reads colliding with erases produce exactly the long right tail a
+//! lognormal models). All sampling goes through the workspace `rand` shim's
+//! SplitMix64 `StdRng`, so a run is fully determined by its seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A latency distribution over non-negative nanosecond durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDist {
+    /// Always exactly `ns` nanoseconds.
+    Fixed {
+        /// The constant duration in nanoseconds.
+        ns: u64,
+    },
+    /// Uniform on `[lo_ns, hi_ns]`.
+    Uniform {
+        /// Inclusive lower bound in nanoseconds.
+        lo_ns: u64,
+        /// Inclusive upper bound in nanoseconds.
+        hi_ns: u64,
+    },
+    /// Lognormal: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+    LogNormal {
+        /// Location parameter (`mu`), i.e. `ln(median_ns)`.
+        mu: f64,
+        /// Shape parameter (`sigma`); larger values mean heavier tails.
+        sigma: f64,
+    },
+}
+
+impl LatencyDist {
+    /// A fixed duration of `us` microseconds.
+    pub fn fixed_us(us: f64) -> Self {
+        Self::Fixed {
+            ns: (us * 1e3).round().max(0.0) as u64,
+        }
+    }
+
+    /// Uniform between `lo_us` and `hi_us` microseconds.
+    pub fn uniform_us(lo_us: f64, hi_us: f64) -> Self {
+        assert!(lo_us <= hi_us, "uniform bounds out of order");
+        Self::Uniform {
+            lo_ns: (lo_us * 1e3).round().max(0.0) as u64,
+            hi_ns: (hi_us * 1e3).round().max(0.0) as u64,
+        }
+    }
+
+    /// A lognormal with the given *mean* (`mean_us` microseconds) and shape
+    /// `sigma`. The location parameter is derived so that
+    /// `E[X] = exp(mu + sigma^2 / 2) = mean`.
+    pub fn lognormal_mean_us(mean_us: f64, sigma: f64) -> Self {
+        assert!(mean_us > 0.0, "lognormal mean must be positive");
+        assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+        Self::LogNormal {
+            mu: (mean_us * 1e3).ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// The distribution's mean, in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        match *self {
+            Self::Fixed { ns } => ns as f64,
+            Self::Uniform { lo_ns, hi_ns } => (lo_ns + hi_ns) as f64 / 2.0,
+            Self::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+
+    /// Draws one duration in nanoseconds.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            Self::Fixed { ns } => ns,
+            Self::Uniform { lo_ns, hi_ns } => {
+                if lo_ns == hi_ns {
+                    lo_ns
+                } else {
+                    rng.gen_range(lo_ns..hi_ns + 1)
+                }
+            }
+            Self::LogNormal { mu, sigma } => {
+                // Box-Muller; `1 - gen::<f64>()` maps [0,1) to (0,1] so the
+                // logarithm is always finite.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mu + sigma * z).exp().round().max(0.0) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of(dist: LatencyDist, seed: u64, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = LatencyDist::fixed_us(11.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 11_000));
+        assert_eq!(d.mean_ns(), 11_000.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_centers() {
+        let d = LatencyDist::uniform_us(10.0, 20.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((10_000..=20_000).contains(&v));
+        }
+        let m = mean_of(d, 3, 20_000);
+        assert!((m / 15_000.0 - 1.0).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_hits_requested_mean_and_is_skewed() {
+        let d = LatencyDist::lognormal_mean_us(324.0, 0.4);
+        let m = mean_of(d, 4, 50_000);
+        assert!((m / 324_000.0 - 1.0).abs() < 0.03, "mean {m}");
+        // Right-skew: the median sits below the mean.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xs: Vec<u64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_unstable();
+        assert!((xs[25_000] as f64) < m);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LatencyDist::lognormal_mean_us(11.0, 0.1);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..64).map(|_| d.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| d.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

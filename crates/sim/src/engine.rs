@@ -1,0 +1,548 @@
+//! The discrete-event engine.
+//!
+//! Requests flow through the five-stage pipeline of
+//! [`crate::pipeline::PipelineParams`] over a virtual nanosecond clock. Every
+//! resource (queue pairs, media channel pools, per-device links, the shared
+//! GPU link) is a FIFO service center; contention shows up as queueing delay
+//! and therefore in the latency distribution — the dynamics the closed-form
+//! models in `bam-timing` average away.
+//!
+//! Runs are deterministic: the event heap breaks ties by insertion order and
+//! all randomness comes from one seeded SplitMix64 generator.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::SimTime;
+use crate::dist::LatencyDist;
+use crate::event::{Event, EventQueue};
+use crate::pipeline::PipelineParams;
+use crate::report::{DepthTimeline, SimReport};
+
+/// Static description of one simulated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestDesc {
+    /// `true` for a write (uses the write media distribution).
+    pub write: bool,
+    /// Payload bytes (link occupancy scales with this).
+    pub bytes: u64,
+    /// Device to route to; `None` round-robins across the array.
+    pub device: Option<u32>,
+    /// Queue pair within the device; `None` round-robins.
+    pub queue: Option<u32>,
+}
+
+impl RequestDesc {
+    /// A round-robin-routed read of `bytes`.
+    pub fn read(bytes: u64) -> Self {
+        Self {
+            write: false,
+            bytes,
+            device: None,
+            queue: None,
+        }
+    }
+
+    /// A round-robin-routed write of `bytes`.
+    pub fn write(bytes: u64) -> Self {
+        Self {
+            write: true,
+            bytes,
+            device: None,
+            queue: None,
+        }
+    }
+}
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Arrivals at a fixed rate regardless of completions (queue growth is
+    /// possible — that is the point).
+    OpenLoop {
+        /// Arrival rate in requests per second.
+        rate_per_s: f64,
+    },
+    /// A fixed number of outstanding requests; every completion immediately
+    /// launches the next (the GPU-threads-keep-queues-full model of §2.2).
+    ClosedLoop {
+        /// Concurrently outstanding requests.
+        in_flight: u32,
+    },
+}
+
+/// Engine configuration: the array geometry plus the per-SSD pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Devices in the array.
+    pub num_ssds: u32,
+    /// Queue pairs per device.
+    pub queue_pairs_per_ssd: u32,
+    /// Per-SSD stage parameters.
+    pub pipeline: PipelineParams,
+}
+
+impl SimConfig {
+    /// Total queue pairs across the array.
+    pub fn total_queue_pairs(&self) -> u32 {
+        self.num_ssds * self.queue_pairs_per_ssd
+    }
+
+    /// A configuration with *pure-delay* service of `latency_us` and no
+    /// bandwidth or serialization constraints: the §2.2 worked examples,
+    /// where only Little's law governs the in-flight population.
+    pub fn worked_example(latency_us: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            num_ssds: 1,
+            queue_pairs_per_ssd: 1024,
+            pipeline: PipelineParams {
+                qp_forward_ns: 0,
+                qp_recovery_ns: 0,
+                ctrl_fetch_ns: 0,
+                read_media: LatencyDist::fixed_us(latency_us),
+                write_media: LatencyDist::fixed_us(latency_us),
+                media_channels: u32::MAX,
+                ssd_link_ns_per_byte: 0.0,
+                gpu_link_ns_per_byte: 0.0,
+                completion_ns: 0,
+                access_bytes: 512,
+            },
+        }
+    }
+}
+
+/// A FIFO service center with `capacity` parallel servers.
+#[derive(Debug)]
+struct Center {
+    busy: u32,
+    capacity: u32,
+    waiting: VecDeque<u32>,
+}
+
+impl Center {
+    fn new(capacity: u32) -> Self {
+        Self {
+            busy: 0,
+            capacity,
+            waiting: VecDeque::new(),
+        }
+    }
+
+    /// Admits `req`: returns `true` if a server was free (caller schedules
+    /// the departure), otherwise queues it.
+    fn admit(&mut self, req: u32) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            true
+        } else {
+            self.waiting.push_back(req);
+            false
+        }
+    }
+
+    /// Releases one server; if a request was waiting it is started
+    /// immediately (the caller schedules its departure).
+    fn release(&mut self) -> Option<u32> {
+        let next = self.waiting.pop_front();
+        if next.is_none() {
+            self.busy -= 1;
+        }
+        next
+    }
+
+    /// Requests currently at this center (in service + waiting).
+    fn occupancy(&self) -> u64 {
+        u64::from(self.busy) + self.waiting.len() as u64
+    }
+}
+
+/// Time-weighted occupancy accounting for one queue pair.
+#[derive(Debug, Default, Clone, Copy)]
+struct OccupancyMeter {
+    integral_ns: u128,
+    last_change: SimTime,
+    current: u64,
+    max: u64,
+}
+
+impl OccupancyMeter {
+    fn update(&mut self, now: SimTime, occupancy: u64) {
+        self.integral_ns += u128::from(now - self.last_change) * u128::from(self.current);
+        self.last_change = now;
+        self.current = occupancy;
+        self.max = self.max.max(occupancy);
+    }
+
+    fn mean(&self, end: SimTime) -> f64 {
+        let total = end - SimTime::ZERO;
+        if total == 0 {
+            return 0.0;
+        }
+        let integral =
+            self.integral_ns + u128::from(end - self.last_change) * u128::from(self.current);
+        integral as f64 / total as f64
+    }
+}
+
+/// Runs `requests` through the pipeline under the given arrival process and
+/// returns the run's report.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty, the configuration has no queue pairs, or an
+/// open-loop rate is not positive.
+pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
+    assert!(!requests.is_empty(), "nothing to simulate");
+    assert!(
+        config.total_queue_pairs() > 0,
+        "need at least one queue pair"
+    );
+    let n = requests.len() as u64;
+    let total_qps = config.total_queue_pairs();
+    let p = &config.pipeline;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut queue_pairs: Vec<Center> = (0..total_qps).map(|_| Center::new(1)).collect();
+    let mut meters: Vec<OccupancyMeter> = vec![OccupancyMeter::default(); total_qps as usize];
+    let mut media: Vec<Center> = (0..config.num_ssds)
+        .map(|_| Center::new(p.media_channels))
+        .collect();
+    let mut ssd_links: Vec<Center> = (0..config.num_ssds).map(|_| Center::new(1)).collect();
+    let mut gpu_link = Center::new(1);
+
+    // Per-request routing and bookkeeping.
+    let mut qp_of: Vec<u32> = Vec::with_capacity(requests.len());
+    for (i, desc) in requests.iter().enumerate() {
+        let device = desc
+            .device
+            .map_or_else(|| (i as u32) % config.num_ssds, |d| d % config.num_ssds);
+        let local = desc.queue.map_or_else(
+            || ((i as u32) / config.num_ssds) % config.queue_pairs_per_ssd,
+            |q| q % config.queue_pairs_per_ssd,
+        );
+        qp_of.push(device * config.queue_pairs_per_ssd + local);
+    }
+    let device_of = |req: u32| qp_of[req as usize] / config.queue_pairs_per_ssd;
+    let ssd_link_ns =
+        |desc: &RequestDesc| (desc.bytes as f64 * p.ssd_link_ns_per_byte).round() as u64;
+    let gpu_link_ns =
+        |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
+
+    let mut arrive_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut depth_timeline = DepthTimeline::default();
+    let mut depth: u32 = 0;
+    let mut now = SimTime::ZERO;
+
+    let mut events = EventQueue::new();
+    let mut issued: u64 = match workload {
+        Workload::OpenLoop { rate_per_s } => {
+            assert!(rate_per_s > 0.0, "open-loop rate must be positive");
+            events.schedule(SimTime::ZERO, Event::Arrive { req: 0 });
+            1
+        }
+        Workload::ClosedLoop { in_flight } => {
+            assert!(in_flight > 0, "closed loop needs at least one request");
+            let initial = u64::from(in_flight).min(n);
+            for req in 0..initial {
+                events.schedule(SimTime::ZERO, Event::Arrive { req: req as u32 });
+            }
+            initial
+        }
+    };
+
+    while let Some((at, event)) = events.pop() {
+        debug_assert!(at >= now, "time went backwards");
+        now = at;
+        match event {
+            Event::Arrive { req } => {
+                arrive_at[req as usize] = now;
+                depth += 1;
+                depth_timeline.record(now, depth);
+                // Open loop: keep the arrival stream going.
+                if let Workload::OpenLoop { rate_per_s } = workload {
+                    if issued < n {
+                        let next_at =
+                            SimTime::from_ns((issued as f64 * 1e9 / rate_per_s).round() as u64);
+                        events.schedule(next_at, Event::Arrive { req: issued as u32 });
+                        issued += 1;
+                    }
+                }
+                let qp = qp_of[req as usize] as usize;
+                if queue_pairs[qp].admit(req) {
+                    events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
+                    events.schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
+                }
+                meters[qp].update(now, queue_pairs[qp].occupancy());
+            }
+            Event::QpRecovered { qp } => {
+                let qp = qp as usize;
+                if let Some(next) = queue_pairs[qp].release() {
+                    events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req: next });
+                    events.schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
+                }
+                meters[qp].update(now, queue_pairs[qp].occupancy());
+            }
+            Event::QpForwarded { req } => {
+                events.schedule(now + p.ctrl_fetch_ns, Event::FetchDone { req });
+            }
+            Event::FetchDone { req } => {
+                let dev = device_of(req) as usize;
+                if media[dev].admit(req) {
+                    let desc = &requests[req as usize];
+                    let dist = if desc.write {
+                        &p.write_media
+                    } else {
+                        &p.read_media
+                    };
+                    events.schedule(now + dist.sample(&mut rng), Event::MediaDone { req });
+                }
+            }
+            Event::MediaDone { req } => {
+                let dev = device_of(req) as usize;
+                if let Some(next) = media[dev].release() {
+                    let desc = &requests[next as usize];
+                    let dist = if desc.write {
+                        &p.write_media
+                    } else {
+                        &p.read_media
+                    };
+                    events.schedule(now + dist.sample(&mut rng), Event::MediaDone { req: next });
+                }
+                if ssd_links[dev].admit(req) {
+                    events.schedule(
+                        now + ssd_link_ns(&requests[req as usize]),
+                        Event::SsdLinkDone { req },
+                    );
+                }
+            }
+            Event::SsdLinkDone { req } => {
+                let dev = device_of(req) as usize;
+                if let Some(next) = ssd_links[dev].release() {
+                    events.schedule(
+                        now + ssd_link_ns(&requests[next as usize]),
+                        Event::SsdLinkDone { req: next },
+                    );
+                }
+                if gpu_link.admit(req) {
+                    events.schedule(
+                        now + gpu_link_ns(&requests[req as usize]),
+                        Event::GpuLinkDone { req },
+                    );
+                }
+            }
+            Event::GpuLinkDone { req } => {
+                if let Some(next) = gpu_link.release() {
+                    events.schedule(
+                        now + gpu_link_ns(&requests[next as usize]),
+                        Event::GpuLinkDone { req: next },
+                    );
+                }
+                events.schedule(now + p.completion_ns, Event::Complete { req });
+            }
+            Event::Complete { req } => {
+                latencies_ns.push(now - arrive_at[req as usize]);
+                depth -= 1;
+                depth_timeline.record(now, depth);
+                if let Workload::ClosedLoop { .. } = workload {
+                    if issued < n {
+                        events.schedule(now, Event::Arrive { req: issued as u32 });
+                        issued += 1;
+                    }
+                }
+            }
+        }
+        // The nth completion is necessarily the last one (events pop in time
+        // order); anything still queued is bookkeeping for finished requests.
+        if latencies_ns.len() as u64 == n {
+            break;
+        }
+    }
+
+    let occupancy_mean = if meters.is_empty() {
+        0.0
+    } else {
+        meters.iter().map(|m| m.mean(now)).sum::<f64>() / meters.len() as f64
+    };
+    let occupancy_max = meters.iter().map(|m| m.max).max().unwrap_or(0);
+    SimReport::build(
+        latencies_ns,
+        depth_timeline,
+        now,
+        occupancy_mean,
+        occupancy_max,
+    )
+}
+
+/// Convenience: `n` identical round-robin reads of the pipeline's access
+/// size.
+pub fn uniform_reads(config: &SimConfig, n: u64) -> Vec<RequestDesc> {
+    vec![RequestDesc::read(config.pipeline.access_bytes); n as usize]
+}
+
+/// Convenience: `n` round-robin requests of which an evenly interleaved
+/// `writes` are writes (deterministic Bresenham spread).
+pub fn mixed_requests(config: &SimConfig, n: u64, writes: u64) -> Vec<RequestDesc> {
+    let writes = writes.min(n);
+    (0..n)
+        .map(|i| {
+            let is_write = (i + 1) * writes / n != i * writes / n;
+            if is_write {
+                RequestDesc::write(config.pipeline.access_bytes)
+            } else {
+                RequestDesc::read(config.pipeline.access_bytes)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bam_nvme_sim::SsdSpec;
+    use bam_pcie::LinkSpec;
+
+    fn optane_config(num_ssds: u32, queue_pairs_per_ssd: u32, bytes: u64, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            num_ssds,
+            queue_pairs_per_ssd,
+            pipeline: PipelineParams::from_specs(
+                &SsdSpec::intel_optane_p5800x(),
+                &LinkSpec::gen4_x4(),
+                &LinkSpec::gen4_x16(),
+                bytes,
+            ),
+        }
+    }
+
+    #[test]
+    fn single_request_sees_unloaded_latency() {
+        let cfg = optane_config(1, 8, 512, 1);
+        let cfg = SimConfig {
+            pipeline: cfg.pipeline.deterministic(),
+            ..cfg
+        };
+        let reqs = uniform_reads(&cfg, 1);
+        let report = run(&cfg, Workload::ClosedLoop { in_flight: 1 }, &reqs);
+        assert_eq!(report.completed, 1);
+        let expected = cfg.pipeline.unloaded_read_latency_us();
+        assert!(
+            (report.latency.mean_us / expected - 1.0).abs() < 0.01,
+            "mean {} vs unloaded {expected}",
+            report.latency.mean_us
+        );
+    }
+
+    #[test]
+    fn closed_loop_saturates_near_media_peak() {
+        // 1 Optane SSD at 512B: media peak 5.1M IOPS. With ample outstanding
+        // requests the simulated throughput should come within ~10%.
+        let cfg = optane_config(1, 128, 512, 2);
+        let reqs = uniform_reads(&cfg, 60_000);
+        let report = run(&cfg, Workload::ClosedLoop { in_flight: 1024 }, &reqs);
+        let miops = report.throughput_per_s / 1e6;
+        assert!((4.6..5.7).contains(&miops), "throughput {miops} MIOPS");
+    }
+
+    #[test]
+    fn few_outstanding_requests_cannot_saturate() {
+        // The left edge of Fig 4: 16 in flight over ~11us is ~1.45M IOPS.
+        let cfg = optane_config(1, 128, 512, 3);
+        let reqs = uniform_reads(&cfg, 20_000);
+        let low = run(&cfg, Workload::ClosedLoop { in_flight: 16 }, &reqs);
+        let high = run(&cfg, Workload::ClosedLoop { in_flight: 1024 }, &reqs);
+        assert!(
+            low.throughput_per_s < high.throughput_per_s * 0.5,
+            "low {} high {}",
+            low.throughput_per_s,
+            high.throughput_per_s
+        );
+    }
+
+    #[test]
+    fn queue_pair_starvation_reproduces_fig11_knee() {
+        // 4 SSDs at 4KB: media-bound near 6M IOPS with plentiful queue
+        // pairs; 8 total QPs serialize at ~150K each → ~1.2M.
+        let plenty = optane_config(4, 32, 4096, 4);
+        let starved = optane_config(4, 2, 4096, 4);
+        let reqs = uniform_reads(&plenty, 40_000);
+        let fast = run(&plenty, Workload::ClosedLoop { in_flight: 2048 }, &reqs);
+        let slow = run(&starved, Workload::ClosedLoop { in_flight: 2048 }, &reqs);
+        assert!(
+            slow.throughput_per_s < fast.throughput_per_s * 0.4,
+            "starved {} vs plenty {}",
+            slow.throughput_per_s,
+            fast.throughput_per_s
+        );
+        // The starved run's queue pairs are visibly backed up.
+        assert!(slow.queue_occupancy_mean > fast.queue_occupancy_mean);
+    }
+
+    #[test]
+    fn deterministic_across_runs_same_seed() {
+        let cfg = optane_config(2, 16, 4096, 42);
+        let reqs = mixed_requests(&cfg, 10_000, 1_000);
+        let a = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        let b = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        assert_eq!(a, b);
+        let c = run(
+            &SimConfig {
+                seed: 43,
+                ..cfg.clone()
+            },
+            Workload::ClosedLoop { in_flight: 256 },
+            &reqs,
+        );
+        assert_ne!(a.sorted_latencies_ns, c.sorted_latencies_ns);
+    }
+
+    #[test]
+    fn open_loop_below_capacity_tracks_littles_law() {
+        let cfg = optane_config(1, 64, 512, 5);
+        let reqs = uniform_reads(&cfg, 50_000);
+        // 2M/s against ~11us → ~22 in flight.
+        let report = run(&cfg, Workload::OpenLoop { rate_per_s: 2.0e6 }, &reqs);
+        let measured = report.depth.steady_state_mean();
+        let littles = report.littles_in_flight();
+        assert!(
+            (measured / littles - 1.0).abs() < 0.1,
+            "measured {measured} vs littles {littles}"
+        );
+    }
+
+    #[test]
+    fn mixed_requests_spread_writes_evenly() {
+        let cfg = optane_config(1, 8, 512, 6);
+        let reqs = mixed_requests(&cfg, 10, 3);
+        assert_eq!(reqs.iter().filter(|r| r.write).count(), 3);
+        // Not all bunched at one end.
+        assert!(reqs[..5].iter().any(|r| r.write));
+        assert!(reqs[5..].iter().any(|r| r.write));
+    }
+
+    #[test]
+    fn writes_are_slower_than_reads_on_optane_512b() {
+        // Optane 512B write IOPS (1M) is 5x below read (5.1M); a write-heavy
+        // closed loop must take longer.
+        let cfg = optane_config(1, 64, 512, 7);
+        let reads = uniform_reads(&cfg, 30_000);
+        let writes: Vec<RequestDesc> = reads
+            .iter()
+            .map(|r| RequestDesc { write: true, ..*r })
+            .collect();
+        let r = run(&cfg, Workload::ClosedLoop { in_flight: 1024 }, &reads);
+        let w = run(&cfg, Workload::ClosedLoop { in_flight: 1024 }, &writes);
+        assert!(
+            w.sim_time_s > r.sim_time_s * 2.0,
+            "writes {} reads {}",
+            w.sim_time_s,
+            r.sim_time_s
+        );
+    }
+}

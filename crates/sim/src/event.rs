@@ -1,0 +1,107 @@
+//! The event queue: a binary heap over (time, sequence) pairs.
+//!
+//! Two events at the same instant are ordered by insertion sequence, which
+//! makes every run a total order — the engine is deterministic for a given
+//! seed regardless of how ties arise.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+
+/// What happens when an event fires. `req` indexes the engine's request
+/// table; resource indices are resolved by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// A request enters the system (open-loop arrival or closed-loop refill).
+    Arrive { req: u32 },
+    /// The request won its queue pair and rang the doorbell; it now travels
+    /// to the controller.
+    QpForwarded { req: u32 },
+    /// The queue pair's submission-side serialization window expired; the
+    /// next waiter may proceed.
+    QpRecovered { qp: u32 },
+    /// The controller finished fetching the SQ entry.
+    FetchDone { req: u32 },
+    /// The media finished serving the request on one of its channels.
+    MediaDone { req: u32 },
+    /// The per-device PCIe link finished the request's transfer.
+    SsdLinkDone { req: u32 },
+    /// The shared GPU-side PCIe link finished the request's transfer.
+    GpuLinkDone { req: u32 },
+    /// The completion entry landed and the submitter observed it.
+    Complete { req: u32 },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of scheduled events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), Event::Arrive { req: 3 });
+        q.schedule(SimTime::from_ns(10), Event::Arrive { req: 1 });
+        q.schedule(SimTime::from_ns(10), Event::Complete { req: 2 });
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(a, (SimTime::from_ns(10), Event::Arrive { req: 1 }));
+        assert_eq!(
+            b,
+            (SimTime::from_ns(10), Event::Complete { req: 2 }),
+            "FIFO tie-break"
+        );
+        assert_eq!(c.0, SimTime::from_ns(30));
+        assert!(q.is_empty());
+    }
+}

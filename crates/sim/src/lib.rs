@@ -1,0 +1,55 @@
+//! # bam-sim — discrete-event latency engine
+//!
+//! The reproduction's third methodology layer. The functional layer
+//! (`bam-core` over the simulated substrates) answers *what happens*; the
+//! analytic layer (`bam-timing`) answers *how long on average*; this crate
+//! answers *when* — per-request latency distributions, tail percentiles,
+//! in-flight-depth timelines, and queue dynamics that closed-form models
+//! average away.
+//!
+//! * [`clock::SimTime`] — the virtual nanosecond clock.
+//! * [`dist::LatencyDist`] — seedable fixed / uniform / lognormal service
+//!   distributions.
+//! * [`pipeline::PipelineParams`] — the doorbell → controller-fetch →
+//!   media → DMA → completion pipeline, parameterized from the Table-2
+//!   [`bam_nvme_sim::SsdSpec`]s and [`bam_pcie::LinkSpec`] occupancies.
+//! * [`engine`] — the event loop: FIFO service centers per queue pair,
+//!   media-channel pool per SSD, per-device and shared PCIe links.
+//! * [`report::SimReport`] — percentiles, depth timelines, occupancy, and
+//!   the Little's-law cross-check against `bam_timing::littles`.
+//! * [`trace`] — a [`bam_nvme_sim::SimHook`] implementation that captures
+//!   the I/O stream of a functional run for replay under the engine.
+//!
+//! ## Example: the paper's §2.2 worked example, event-driven
+//!
+//! ```
+//! use bam_sim::{engine, SimConfig, Workload};
+//!
+//! // 512B reads at 6.35M IOPS against 11us latency...
+//! let config = SimConfig::worked_example(11.0, 1);
+//! let requests = engine::uniform_reads(&config, 20_000);
+//! let report = engine::run(
+//!     &config,
+//!     Workload::OpenLoop { rate_per_s: 6.35e6 },
+//!     &requests,
+//! );
+//! // ...needs ~70 requests in flight (T x L, Little's law).
+//! let in_flight = report.depth.steady_state_mean();
+//! let analytic = bam_timing::required_queue_depth(6.35e6, 11.0) as f64;
+//! assert!((in_flight / analytic - 1.0).abs() < 0.05);
+//! ```
+
+pub mod clock;
+pub mod dist;
+pub mod engine;
+mod event;
+pub mod pipeline;
+pub mod report;
+pub mod trace;
+
+pub use clock::SimTime;
+pub use dist::LatencyDist;
+pub use engine::{run, uniform_reads, RequestDesc, SimConfig, Workload};
+pub use pipeline::{tail_sigma, PipelineParams};
+pub use report::{DepthTimeline, LatencySummary, SimReport};
+pub use trace::{IoTrace, TraceRecorder};

@@ -1,0 +1,252 @@
+//! Run results: latency percentiles, in-flight-depth timelines, queue
+//! occupancy, and the Little's-law cross-check.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+
+/// Summary statistics over the per-request latency samples of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of completed requests.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median (p50) latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+}
+
+/// Percentile over an ascending-sorted slice (nearest-rank method).
+fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+impl LatencySummary {
+    fn from_sorted_ns(sorted: &[u64]) -> Self {
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        Self {
+            count: sorted.len() as u64,
+            mean_us: sum as f64 / sorted.len() as f64 / 1e3,
+            p50_us: percentile_ns(sorted, 0.50) / 1e3,
+            p95_us: percentile_ns(sorted, 0.95) / 1e3,
+            p99_us: percentile_ns(sorted, 0.99) / 1e3,
+            p999_us: percentile_ns(sorted, 0.999) / 1e3,
+            max_us: *sorted.last().unwrap() as f64 / 1e3,
+        }
+    }
+}
+
+/// The number of requests in flight over time, as a change list.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepthTimeline {
+    /// `(instant, depth-after-change)` points, in time order.
+    points: Vec<(SimTime, u32)>,
+    /// End of the observation interval.
+    end: SimTime,
+}
+
+impl DepthTimeline {
+    pub(crate) fn record(&mut self, at: SimTime, depth: u32) {
+        self.points.push((at, depth));
+    }
+
+    pub(crate) fn close(&mut self, end: SimTime) {
+        self.end = end;
+    }
+
+    /// Time-weighted mean depth over `[from, to]`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        let window = to - from;
+        if window == 0 || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut integral = 0u128;
+        let mut depth = 0u32;
+        let mut cursor = from;
+        for &(at, d) in &self.points {
+            if at <= from {
+                depth = d;
+                continue;
+            }
+            if at >= to {
+                break;
+            }
+            integral += u128::from(at - cursor) * u128::from(depth);
+            cursor = at;
+            depth = d;
+        }
+        integral += u128::from(to - cursor) * u128::from(depth);
+        integral as f64 / window as f64
+    }
+
+    /// Mean depth over the middle half of the run (warm-up and drain
+    /// excluded) — the engine's steady-state operating point.
+    pub fn steady_state_mean(&self) -> f64 {
+        let span = self.end - SimTime::ZERO;
+        self.time_weighted_mean(
+            SimTime::from_ns(span / 4),
+            SimTime::from_ns(span - span / 4),
+        )
+    }
+
+    /// Peak depth ever observed.
+    pub fn max_depth(&self) -> u32 {
+        self.points.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// At most `n` evenly spaced `(seconds, depth)` samples for plotting.
+    pub fn sampled(&self, n: usize) -> Vec<(f64, u32)> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let step = self.points.len().div_ceil(n);
+        self.points
+            .iter()
+            .step_by(step)
+            .map(|&(at, d)| (at.as_secs_f64(), d))
+            .collect()
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Latency summary over completed requests.
+    pub latency: LatencySummary,
+    /// Requests completed.
+    pub completed: u64,
+    /// Total simulated duration in seconds.
+    pub sim_time_s: f64,
+    /// Completed requests per simulated second.
+    pub throughput_per_s: f64,
+    /// In-flight depth over time.
+    pub depth: DepthTimeline,
+    /// Mean queue-pair occupancy (waiting + in service), averaged over time
+    /// and over queue pairs.
+    pub queue_occupancy_mean: f64,
+    /// Peak occupancy of any single queue pair.
+    pub queue_occupancy_max: u64,
+    /// Ascending per-request latencies in nanoseconds (for CDFs).
+    pub sorted_latencies_ns: Vec<u64>,
+}
+
+impl SimReport {
+    pub(crate) fn build(
+        mut latencies_ns: Vec<u64>,
+        mut depth: DepthTimeline,
+        end: SimTime,
+        queue_occupancy_mean: f64,
+        queue_occupancy_max: u64,
+    ) -> Self {
+        latencies_ns.sort_unstable();
+        depth.close(end);
+        let sim_time_s = end.as_secs_f64();
+        let completed = latencies_ns.len() as u64;
+        Self {
+            latency: LatencySummary::from_sorted_ns(&latencies_ns),
+            completed,
+            sim_time_s,
+            throughput_per_s: if sim_time_s > 0.0 {
+                completed as f64 / sim_time_s
+            } else {
+                0.0
+            },
+            depth,
+            queue_occupancy_mean,
+            queue_occupancy_max,
+            sorted_latencies_ns: latencies_ns,
+        }
+    }
+
+    /// Latency at quantile `q` (`0 < q <= 1`) in microseconds.
+    pub fn latency_percentile_us(&self, q: f64) -> f64 {
+        percentile_ns(&self.sorted_latencies_ns, q) / 1e3
+    }
+
+    /// The Little's-law reading of this run: `throughput × mean latency`,
+    /// which must agree with the measured steady-state mean in-flight depth
+    /// (`self.depth.steady_state_mean()`) — the same identity
+    /// `bam_timing::littles::required_queue_depth` applies analytically.
+    pub fn littles_in_flight(&self) -> f64 {
+        self.throughput_per_s * self.latency.mean_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let ns: Vec<u64> = (1..=1000).map(|i| i * 1_000).collect();
+        let s = LatencySummary::from_sorted_ns(&ns);
+        assert_eq!(s.count, 1000);
+        assert!((s.p50_us - 500.0).abs() < 1.0);
+        assert!((s.p95_us - 950.0).abs() < 1.0);
+        assert!((s.p99_us - 990.0).abs() < 1.0);
+        assert!((s.p999_us - 999.0).abs() < 1.0);
+        assert_eq!(s.max_us, 1000.0);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.p999_us);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        assert_eq!(
+            LatencySummary::from_sorted_ns(&[]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn depth_time_weighted_mean_is_exact_on_a_step() {
+        let mut t = DepthTimeline::default();
+        // Depth 2 on [0, 100), depth 4 on [100, 200).
+        t.record(SimTime::from_ns(0), 2);
+        t.record(SimTime::from_ns(100), 4);
+        t.close(SimTime::from_ns(200));
+        let m = t.time_weighted_mean(SimTime::from_ns(0), SimTime::from_ns(200));
+        assert!((m - 3.0).abs() < 1e-12, "{m}");
+        // A window entirely in the second step sees depth 4.
+        let m2 = t.time_weighted_mean(SimTime::from_ns(150), SimTime::from_ns(200));
+        assert!((m2 - 4.0).abs() < 1e-12, "{m2}");
+        assert_eq!(t.max_depth(), 4);
+    }
+
+    #[test]
+    fn sampled_respects_the_cap() {
+        let mut t = DepthTimeline::default();
+        for i in 0..1999u64 {
+            t.record(SimTime::from_ns(i), (i % 7) as u32);
+        }
+        t.close(SimTime::from_ns(2000));
+        assert!(t.sampled(1000).len() <= 1000);
+        assert_eq!(t.sampled(1999).len(), 1999);
+        assert!(t.sampled(0).is_empty());
+    }
+
+    #[test]
+    fn report_build_computes_throughput_and_littles() {
+        let mut depth = DepthTimeline::default();
+        depth.record(SimTime::from_ns(0), 1);
+        let r = SimReport::build(vec![10_000; 100], depth, SimTime::from_us(1000.0), 1.0, 2);
+        assert_eq!(r.completed, 100);
+        assert!((r.throughput_per_s - 100.0 / 1e-3).abs() < 1e-6);
+        // 100k/s × 10us = 1 request in flight.
+        assert!((r.littles_in_flight() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-validation of the event engine against the analytic layer.
+//!
+//! Two independent methodologies must agree on the paper's §2.2 worked
+//! examples: the closed-form `bam_timing::littles` queue-depth sizing and the
+//! engine's *measured* steady-state in-flight population. The examples are
+//! the ones the paper works through — Optane (11 µs) and 980 Pro (324 µs)
+//! latencies against the ×16 link's 512 B (51 M IOPS) and 4 KB (6.35 M IOPS)
+//! command rates.
+
+use bam_sim::{engine, SimConfig, Workload};
+use bam_timing::{required_queue_depth, steady_state_in_flight};
+
+/// Runs one worked example open-loop and returns the measured steady-state
+/// mean in-flight depth.
+fn simulate(latency_us: f64, rate_per_s: f64) -> bam_sim::SimReport {
+    // Long enough that warm-up/drain (one latency each) is a tiny fraction
+    // of the middle-half measurement window even at 324 µs × 51 M/s.
+    let expected = steady_state_in_flight(rate_per_s, latency_us);
+    let requests = ((expected * 16.0) as u64).max(50_000);
+    let config = SimConfig::worked_example(latency_us, 0xBA4);
+    let reqs = engine::uniform_reads(&config, requests);
+    engine::run(&config, Workload::OpenLoop { rate_per_s }, &reqs)
+}
+
+#[test]
+fn paper_worked_examples_agree_with_littles_law() {
+    // (latency_us, rate, the paper's quoted depth)
+    let cases = [
+        (11.0, 51.0e6, 561),
+        (11.0, 6.35e6, 70),
+        (324.0, 51.0e6, 16524),
+        (324.0, 6.35e6, 2057),
+    ];
+    for (latency_us, rate, quoted) in cases {
+        let analytic = required_queue_depth(rate, latency_us);
+        assert_eq!(analytic, quoted, "analytic model drifted from the paper");
+        let report = simulate(latency_us, rate);
+        let measured = report.depth.steady_state_mean();
+        let rel = (measured / analytic as f64 - 1.0).abs();
+        assert!(
+            rel < 0.05,
+            "{latency_us}us @ {rate}: simulated {measured:.1} vs analytic {analytic} \
+             ({:.2}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn littles_identity_holds_inside_the_engine() {
+    // mean latency × throughput ≈ mean in-flight, measured entirely inside
+    // one simulation run (the engine's internal consistency check).
+    for (latency_us, rate) in [(11.0, 6.35e6), (324.0, 6.35e6)] {
+        let report = simulate(latency_us, rate);
+        let littles = report.littles_in_flight();
+        let measured = report.depth.steady_state_mean();
+        assert!(
+            (measured / littles - 1.0).abs() < 0.05,
+            "measured {measured:.1} vs T*L {littles:.1}"
+        );
+        // The pure-delay scenario adds no queueing: the simulated latency is
+        // the configured one.
+        assert!((report.latency.mean_us / latency_us - 1.0).abs() < 0.01);
+    }
+}
+
+#[test]
+fn depth_timeline_ramps_to_plateau() {
+    let report = simulate(324.0, 6.35e6);
+    let samples = report.depth.sampled(1000);
+    assert!(!samples.is_empty());
+    // Early depth is far below the plateau; the middle sits near 2057.
+    let early = samples[1].1;
+    let mid = samples[samples.len() / 2].1;
+    assert!(u64::from(early) < 500, "early depth {early}");
+    assert!((1800..2300).contains(&mid), "mid depth {mid}");
+}

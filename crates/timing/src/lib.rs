@@ -32,5 +32,5 @@ pub use breakdown::ExecutionBreakdown;
 pub use cost::CostModel;
 pub use cpu::CpuStackModel;
 pub use gpu::GpuRateModel;
-pub use littles::{achievable_throughput, required_queue_depth};
+pub use littles::{achievable_throughput, required_queue_depth, steady_state_in_flight};
 pub use ssd::SsdArrayModel;

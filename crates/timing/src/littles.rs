@@ -20,7 +20,17 @@
 /// assert_eq!(nand, 16524);
 /// ```
 pub fn required_queue_depth(throughput_per_s: f64, latency_us: f64) -> u64 {
-    (throughput_per_s * latency_us * 1e-6).round() as u64
+    steady_state_in_flight(throughput_per_s, latency_us).round() as u64
+}
+
+/// The unrounded `T × L` product: the mean number of requests in flight in
+/// any system sustaining `throughput_per_s` against `latency_us`.
+///
+/// This is the quantity the event-driven engine (`bam-sim`) must reproduce as
+/// its measured steady-state depth — the reproduction's analytic/simulated
+/// cross-check.
+pub fn steady_state_in_flight(throughput_per_s: f64, latency_us: f64) -> f64 {
+    throughput_per_s * latency_us * 1e-6
 }
 
 /// Throughput achievable with `in_flight` concurrently outstanding requests
@@ -64,5 +74,12 @@ mod tests {
     #[test]
     fn zero_latency_means_peak() {
         assert_eq!(achievable_throughput(1.0, 0.0, 123.0), 123.0);
+    }
+
+    #[test]
+    fn required_depth_is_the_rounded_steady_state() {
+        let exact = steady_state_in_flight(51e6, 11.0);
+        assert!((exact - 561.0).abs() < 0.001);
+        assert_eq!(required_queue_depth(51e6, 11.0), exact.round() as u64);
     }
 }

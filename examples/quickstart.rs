@@ -43,21 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sum.load(std::sync::atomic::Ordering::Relaxed)
     );
 
-    // 4. Inspect what the software stack did.
-    let m = system.metrics();
-    println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), coalescing saved {} probes",
-        m.cache_hits,
-        m.cache_misses,
-        m.hit_rate() * 100.0,
-        m.coalesced_accesses
-    );
-    println!(
-        "storage: {} read requests, {} bytes read, I/O amplification {:.2}x, {} doorbell writes",
-        m.read_requests,
-        m.bytes_read,
-        m.io_amplification(),
-        system.total_doorbell_writes()
-    );
+    // 4. Inspect what the software stack did (MetricsSnapshot's Display
+    //    prints the cache and storage summary).
+    println!("{}", system.metrics());
+    println!("doorbell writes: {}", system.total_doorbell_writes());
     Ok(())
 }

@@ -12,5 +12,6 @@ pub use bam_gpu_sim as gpu;
 pub use bam_mem as mem;
 pub use bam_nvme_sim as nvme;
 pub use bam_pcie as pcie;
+pub use bam_sim as sim;
 pub use bam_timing as timing;
 pub use bam_workloads as workloads;
