@@ -1,0 +1,71 @@
+//! The bench-regression gate: compares a freshly regenerated `BENCH_*.json`
+//! against the committed baseline with tolerances (see `bam_bench::drift`).
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--rel-tol 0.05]
+//! ```
+//!
+//! Exit status 0 when the trajectory matches (exact on deterministic fields,
+//! within the relative tolerance on float fields), 1 when it drifted, 2 on
+//! usage or I/O errors. CI stashes the committed files, reruns every
+//! `--json` harness, and runs this gate per file, so silent perf drift fails
+//! the build while intentional, in-band model refinement does not.
+
+use bam_bench::drift;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    eprintln!("usage: bench_check <baseline.json> <current.json> [--rel-tol 0.05]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut rel_tol = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--rel-tol" {
+            let Some(v) = args.get(i + 1) else {
+                fail("--rel-tol needs a value");
+            };
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => rel_tol = t,
+                _ => fail("--rel-tol must be a non-negative number"),
+            }
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    if paths.len() != 2 {
+        fail("expected exactly two file arguments");
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+    };
+    let parse = |path: &str, body: &str| {
+        drift::parse(body).unwrap_or_else(|e| fail(&format!("{path}: malformed JSON at {e}")))
+    };
+    let (baseline_path, current_path) = (paths[0].as_str(), paths[1].as_str());
+    let baseline = parse(baseline_path, &read(baseline_path));
+    let current = parse(current_path, &read(current_path));
+    let diffs = drift::compare(&baseline, &current, rel_tol);
+    if diffs.is_empty() {
+        println!(
+            "bench_check: {current_path} matches {baseline_path} \
+             (rel-tol {rel_tol})"
+        );
+        return;
+    }
+    eprintln!(
+        "bench_check: {current_path} drifted from {baseline_path} in {} place(s) \
+         (rel-tol {rel_tol}):",
+        diffs.len()
+    );
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    std::process::exit(1);
+}

@@ -3,7 +3,7 @@
 //! Each sweep point is produced twice — by the closed-form storage envelope
 //! and by the `bam-sim` event engine — and both slowdowns are printed side by
 //! side as a cross-check. Pass `--json` to also write `BENCH_fig11.json`.
-use bam_bench::jsonout::{json_array, json_mode, write_bench_json, JsonObject};
+use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::{graph_exp, print_table, scale::GRAPH_SCALE};
 
 const SEED: u64 = 11;
@@ -46,7 +46,6 @@ fn main() {
                 })),
             )
             .build();
-        let path = write_bench_json("fig11", &body).expect("write BENCH_fig11.json");
-        eprintln!("wrote {}", path.display());
+        emit_bench_json("fig11", &body);
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 4: 512 B random read/write IOPS scaling with request
 //! count and SSD count. Pass `--json` to also write `BENCH_fig4.json`.
-use bam_bench::jsonout::{json_array, json_mode, write_bench_json, JsonObject};
+use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::{micro_exp, print_table};
 
 fn main() {
@@ -43,7 +43,6 @@ fn main() {
                 })),
             )
             .build();
-        let path = write_bench_json("fig4", &body).expect("write BENCH_fig4.json");
-        eprintln!("wrote {}", path.display());
+        emit_bench_json("fig4", &body);
     }
 }

@@ -5,7 +5,7 @@
 //! distribution is reported alongside the analytic envelope it must agree
 //! with in the mean — the dynamics behind the Fig 9 slowdowns. Pass `--json`
 //! to also write `BENCH_latency_cdf.json`.
-use bam_bench::jsonout::{json_array, json_mode, write_bench_json, JsonObject};
+use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::{print_table, sim_exp};
 
 /// Access granularity of the sweep (the graph experiments' 4 KB lines).
@@ -84,7 +84,6 @@ fn main() {
                 })),
             )
             .build();
-        let path = write_bench_json("latency_cdf", &body).expect("write BENCH_latency_cdf.json");
-        eprintln!("wrote {}", path.display());
+        emit_bench_json("latency_cdf", &body);
     }
 }

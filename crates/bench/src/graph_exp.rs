@@ -321,19 +321,28 @@ pub struct Fig7Row {
 
 /// Figure 7: BFS and CC end-to-end time, Target vs BaM, 1 vs 4 Optane SSDs.
 pub fn figure7(scale: f64, seed: u64) -> Vec<Fig7Row> {
+    figure7_with_workers(scale, seed, WORKERS)
+}
+
+/// [`figure7`] with an explicit executor width. The `fig7` binary runs
+/// single-worker so its output (and `BENCH_fig7.json`) is bit-identical per
+/// seed — the same determinism contract `figure11` honours for the CI drift
+/// gate.
+pub fn figure7_with_workers(scale: f64, seed: u64, workers: usize) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
     for dataset in DatasetDescriptor::table3() {
         for workload in [GraphWorkload::Bfs, GraphWorkload::Cc] {
             if workload == GraphWorkload::Cc && !dataset.used_for_cc() {
                 continue;
             }
-            let m = measure_graph(
+            let m = measure_graph_with_workers(
                 &dataset,
                 workload,
                 PAPER_CACHE_FRACTION,
                 scale,
                 AccessConfig::Optimized,
                 seed,
+                workers,
             );
             for num_ssds in [1usize, 4] {
                 rows.push(Fig7Row {

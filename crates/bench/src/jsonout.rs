@@ -24,12 +24,14 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Renders an `f64` as a JSON number (`null` for non-finite values — Rust's
-/// `Display` for finite floats never uses exponent notation, so the output is
-/// always valid JSON).
+/// Renders an `f64` as a JSON number (`null` for non-finite values). Uses
+/// `Debug` formatting so integral values keep a trailing `.0`: the drift
+/// gate (`crate::drift`) compares integer literals exactly and float
+/// literals with tolerance, so a float field must never render in the
+/// integer shape or an in-band drift on it would hard-fail the gate.
 fn num(v: f64) -> String {
     if v.is_finite() {
-        format!("{v}")
+        format!("{v:?}")
     } else {
         "null".to_string()
     }
@@ -108,6 +110,21 @@ pub fn write_bench_json(name: &str, body: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// The shared `--json` epilogue of every figure binary: writes
+/// `BENCH_<name>.json` at the workspace root and logs the path to stderr.
+/// Hoisted here so no binary re-implements the write-and-report sequence
+/// (or drifts from the workspace-rooted path convention).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench run that silently loses
+/// its trajectory point would defeat the drift gate.
+pub fn emit_bench_json(name: &str, body: &str) {
+    let path =
+        write_bench_json(name, body).unwrap_or_else(|e| panic!("write BENCH_{name}.json: {e}"));
+    eprintln!("wrote {}", path.display());
+}
+
 /// `true` when the process arguments request JSON output.
 pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
@@ -128,6 +145,14 @@ mod tests {
             s,
             "{\"name\": \"fig4\", \"requests\": 1024, \"miops\": 5.1}"
         );
+    }
+
+    #[test]
+    fn integral_floats_keep_the_float_shape() {
+        // The drift gate treats integer literals as exact fields; a float
+        // field landing on an integral value must still render as a float.
+        let s = JsonObject::new().num("interference", 1.0).build();
+        assert_eq!(s, "{\"interference\": 1.0}");
     }
 
     #[test]

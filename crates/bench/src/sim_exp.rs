@@ -6,9 +6,14 @@
 //! simulated result is cross-checked against the closed-form envelope it
 //! must agree with in the mean.
 
+use std::collections::HashMap;
+
 use bam_nvme_sim::SsdSpec;
 use bam_pcie::LinkSpec;
-use bam_sim::{engine, PipelineParams, SimConfig, SimReport, Workload};
+use bam_sim::{
+    engine, interference_ratio, ArrivalProcess, Mmpp2, PipelineParams, QueuePairPolicy, SimConfig,
+    SimReport, TenantSpec, Workload,
+};
 use bam_timing::{required_queue_depth, SsdArrayModel};
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +159,198 @@ pub fn simulated_storage_time(
     (seconds, report)
 }
 
+// --- Multi-tenant interference and fairness ------------------------------
+
+/// Access granularity of the tenant experiment (the graph experiments' 4 KB
+/// lines).
+pub const TENANT_ACCESS_BYTES: u64 = 4096;
+
+/// Requests each steady tenant issues in the sweep.
+pub const TENANT_STEADY_REQUESTS: u64 = 6_000;
+
+/// Arrival rate of one steady tenant, in requests per second. Far below any
+/// capacity limit: a steady tenant only suffers when a neighbour's backlog
+/// lands in front of its commands.
+pub const TENANT_STEADY_RATE_PER_S: f64 = 100.0e3;
+
+/// Stable id of the bursty antagonist (its arrival stream is a pure function
+/// of run seed and id, so solo and co-run streams are identical).
+pub const ANTAGONIST_ID: u32 = 100;
+
+/// The antagonist's MMPP: long calm stretches at 50 K/s punctuated by ~1 ms
+/// bursts at 1.6 M/s — above the 8-queue-pair protocol ceiling
+/// (8 × 150 K/s = 1.2 M/s) but below every array's media envelope, so the
+/// damage happens in the queue pairs, exactly where the allocation policy
+/// acts.
+pub fn antagonist_mmpp() -> Mmpp2 {
+    Mmpp2 {
+        calm_rate_per_s: 50.0e3,
+        burst_rate_per_s: 1.6e6,
+        mean_calm_s: 4.0e-3,
+        mean_burst_s: 1.0e-3,
+    }
+}
+
+/// A steady read-only Poisson tenant.
+pub fn steady_tenant(id: u32, requests: u64) -> TenantSpec {
+    TenantSpec::new(
+        id,
+        &format!("steady-{id}"),
+        ArrivalProcess::Poisson {
+            rate_per_s: TENANT_STEADY_RATE_PER_S,
+        },
+        requests,
+    )
+}
+
+/// The bursty antagonist, sized so it stays active for roughly the same span
+/// as a steady tenant with `steady_requests` (its mean rate is 3.6× higher).
+pub fn bursty_antagonist(steady_requests: u64) -> TenantSpec {
+    let m = antagonist_mmpp();
+    let requests =
+        (steady_requests as f64 * m.mean_rate_per_s() / TENANT_STEADY_RATE_PER_S).round() as u64;
+    TenantSpec::new(
+        ANTAGONIST_ID,
+        "antagonist",
+        ArrivalProcess::Mmpp(m),
+        requests,
+    )
+}
+
+/// The tenant experiment's array: 4 SSDs with only 2 queue pairs each — the
+/// queue-pair-starved regime of Fig 11, where submission slots (not media)
+/// are the contended resource.
+pub fn tenant_config(spec: &SsdSpec, seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        num_ssds: 4,
+        queue_pairs_per_ssd: 2,
+        pipeline: PipelineParams::from_specs(
+            spec,
+            &LinkSpec::gen4_x4(),
+            &LinkSpec::gen4_x16(),
+            TENANT_ACCESS_BYTES,
+        ),
+    }
+}
+
+/// One per-tenant row of the multi-tenant sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Device name (Table 2 row).
+    pub device: String,
+    /// Queue-pair allocation policy label.
+    pub policy: &'static str,
+    /// Workload scenario: `"steady"` (all tenants steady) or `"bursty"`
+    /// (last tenant is the MMPP antagonist).
+    pub scenario: &'static str,
+    /// Tenants co-running in this configuration.
+    pub num_tenants: usize,
+    /// This tenant's name.
+    pub tenant: String,
+    /// This tenant's queue-pair weight.
+    pub weight: u32,
+    /// Queue pairs the policy granted this tenant.
+    pub queue_pairs: u32,
+    /// Requests the tenant completed.
+    pub completed: u64,
+    /// Completions per second over the tenant's active span.
+    pub throughput_per_s: f64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// 99.9th percentile (µs).
+    pub p999_us: f64,
+    /// The tenant's p99 when running alone under the same configuration and
+    /// policy (µs).
+    pub solo_p99_us: f64,
+    /// Interference metric: co-run p99 over solo p99 (1.0 = perfect
+    /// isolation).
+    pub interference: f64,
+}
+
+/// The tenant list of one scenario: `n` tenants, the last replaced by the
+/// bursty antagonist when `bursty` is set.
+fn scenario_tenants(n: usize, bursty: bool, steady_requests: u64) -> Vec<TenantSpec> {
+    let mut tenants: Vec<TenantSpec> = (0..n as u32)
+        .map(|i| steady_tenant(i, steady_requests))
+        .collect();
+    if bursty {
+        tenants.pop();
+        tenants.push(bursty_antagonist(steady_requests));
+    }
+    tenants
+}
+
+/// The full multi-tenant sweep: 1/2/4/8 tenants × (all-steady, bursty
+/// antagonist) × shared vs weighted-fair queue pairs × the three Table-2
+/// devices, with each tenant's solo p99 as the interference baseline.
+pub fn tenant_matrix(seed: u64) -> Vec<TenantRow> {
+    tenant_matrix_scaled(seed, TENANT_STEADY_REQUESTS)
+}
+
+/// [`tenant_matrix`] with an explicit per-steady-tenant request count (the
+/// unit tests run a reduced scale; the `tenants` binary runs the full one).
+pub fn tenant_matrix_scaled(seed: u64, steady_requests: u64) -> Vec<TenantRow> {
+    let mut rows = Vec::new();
+    // Solo-run p99 baselines, keyed by (device, policy, tenant id).
+    let mut solo_p99: HashMap<(String, &'static str, u32), f64> = HashMap::new();
+    for spec in [
+        SsdSpec::intel_optane_p5800x(),
+        SsdSpec::samsung_pm1735(),
+        SsdSpec::samsung_980pro(),
+    ] {
+        let config = tenant_config(&spec, seed);
+        for policy in [QueuePairPolicy::Shared, QueuePairPolicy::WeightedFair] {
+            for num_tenants in [1usize, 2, 4, 8] {
+                for bursty in [false, true] {
+                    let tenants = scenario_tenants(num_tenants, bursty, steady_requests);
+                    let report = engine::run_tenants(&config, &tenants, policy);
+                    for (t, summary) in tenants.iter().zip(&report.tenants) {
+                        let key = (spec.name.clone(), policy.label(), t.id);
+                        // An n=1 run *is* the tenant's solo run (the engine
+                        // is deterministic), so it seeds its own baseline.
+                        let solo = if num_tenants == 1 {
+                            *solo_p99.entry(key).or_insert(summary.latency.p99_us)
+                        } else {
+                            *solo_p99.entry(key).or_insert_with(|| {
+                                engine::run_tenants(&config, std::slice::from_ref(t), policy)
+                                    .tenants[0]
+                                    .latency
+                                    .p99_us
+                            })
+                        };
+                        rows.push(TenantRow {
+                            device: spec.name.clone(),
+                            policy: policy.label(),
+                            scenario: if bursty { "bursty" } else { "steady" },
+                            num_tenants,
+                            tenant: summary.name.clone(),
+                            weight: summary.weight,
+                            queue_pairs: summary.queue_pairs,
+                            completed: summary.completed,
+                            throughput_per_s: summary.throughput_per_s,
+                            mean_us: summary.latency.mean_us,
+                            p50_us: summary.latency.p50_us,
+                            p95_us: summary.latency.p95_us,
+                            p99_us: summary.latency.p99_us,
+                            p999_us: summary.latency.p999_us,
+                            solo_p99_us: solo,
+                            interference: interference_ratio(summary.latency.p99_us, solo),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +397,98 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.p999_us, y.p999_us);
             assert_eq!(x.achieved_miops, y.achieved_miops);
+        }
+    }
+
+    #[test]
+    fn bursty_antagonist_degrades_steady_p99_only_under_shared_queue_pairs() {
+        // The PR's headline scenario: a steady tenant co-runs with an MMPP
+        // antagonist whose bursts exceed the array's queue-pair protocol
+        // ceiling. Shared queue pairs let the burst backlog land in front of
+        // the steady tenant's commands; weighted-fair allocation keeps the
+        // backlog in the antagonist's own partition.
+        let spec = SsdSpec::intel_optane_p5800x();
+        let config = tenant_config(&spec, 17);
+        let tenants = [
+            steady_tenant(0, TENANT_STEADY_REQUESTS),
+            bursty_antagonist(TENANT_STEADY_REQUESTS),
+        ];
+        let measure = |policy: QueuePairPolicy| {
+            let solo = engine::run_tenants(&config, std::slice::from_ref(&tenants[0]), policy)
+                .tenants[0]
+                .latency
+                .p99_us;
+            let corun = engine::run_tenants(&config, &tenants, policy);
+            let steady = corun.tenant(0).unwrap().latency.p99_us;
+            interference_ratio(steady, solo)
+        };
+        let shared = measure(QueuePairPolicy::Shared);
+        let fair = measure(QueuePairPolicy::WeightedFair);
+        assert!(
+            shared > 2.0,
+            "shared queue pairs must let the antagonist inflate the steady \
+             tenant's p99 (interference {shared:.2})"
+        );
+        assert!(
+            fair < 1.4,
+            "weighted-fair allocation must isolate the steady tenant \
+             (interference {fair:.2})"
+        );
+        assert!(
+            shared > fair * 2.0,
+            "isolation gap: shared {shared:.2} vs fair {fair:.2}"
+        );
+    }
+
+    #[test]
+    fn antagonist_pays_for_its_own_bursts_under_weighted_fair() {
+        // Fairness is not free lunch: under weighted-fair the antagonist's
+        // bursts queue in its own partition, so its p99 is worse than under
+        // the shared free-for-all where it could spill onto everyone.
+        let spec = SsdSpec::intel_optane_p5800x();
+        let config = tenant_config(&spec, 18);
+        let tenants = [
+            steady_tenant(0, TENANT_STEADY_REQUESTS),
+            bursty_antagonist(TENANT_STEADY_REQUESTS),
+        ];
+        let p99 = |policy| {
+            engine::run_tenants(&config, &tenants, policy)
+                .tenant(ANTAGONIST_ID)
+                .unwrap()
+                .latency
+                .p99_us
+        };
+        assert!(p99(QueuePairPolicy::WeightedFair) > p99(QueuePairPolicy::Shared));
+    }
+
+    #[test]
+    fn tenant_matrix_covers_the_sweep_and_is_deterministic() {
+        let rows = tenant_matrix_scaled(19, 800);
+        // 3 devices × 2 policies × (1+2+4+8 tenants) × 2 scenarios.
+        assert_eq!(rows.len(), 3 * 2 * 15 * 2);
+        let again = tenant_matrix_scaled(19, 800);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.p99_us, b.p99_us);
+            assert_eq!(a.throughput_per_s, b.throughput_per_s);
+            assert_eq!(a.interference, b.interference);
+        }
+        // Solo rows are their own baseline: interference exactly 1.
+        for r in rows.iter().filter(|r| r.num_tenants == 1) {
+            assert!((r.interference - 1.0).abs() < 1e-12, "{r:?}");
+        }
+        // Weighted-fair partitions sum to the array's 8 queue pairs.
+        for n in [1usize, 2, 4, 8] {
+            let total: u32 = rows
+                .iter()
+                .filter(|r| {
+                    r.policy == "weighted-fair"
+                        && r.scenario == "steady"
+                        && r.num_tenants == n
+                        && r.device.contains("Optane")
+                })
+                .map(|r| r.queue_pairs)
+                .sum();
+            assert_eq!(total, 8, "{n} tenants");
         }
     }
 

@@ -96,6 +96,146 @@ impl LatencyDist {
     }
 }
 
+/// Draws an exponential interarrival gap for a Poisson process of
+/// `rate_per_s`, in (fractional) nanoseconds.
+pub(crate) fn exp_gap_ns(rate_per_s: f64, rng: &mut StdRng) -> f64 {
+    debug_assert!(rate_per_s > 0.0);
+    // `1 - gen::<f64>()` maps [0,1) to (0,1] so the logarithm is finite.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate_per_s * 1e9
+}
+
+/// A 2-state Markov-modulated Poisson process: arrivals are Poisson at
+/// `calm_rate_per_s` or `burst_rate_per_s` depending on a background
+/// continuous-time Markov chain whose state dwell times are exponential with
+/// means `mean_calm_s` and `mean_burst_s`. The canonical bursty-tenant model:
+/// long quiet stretches punctuated by short, intense bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mmpp2 {
+    /// Arrival rate while calm, in requests per second.
+    pub calm_rate_per_s: f64,
+    /// Arrival rate while bursting, in requests per second.
+    pub burst_rate_per_s: f64,
+    /// Mean dwell time in the calm state, in seconds.
+    pub mean_calm_s: f64,
+    /// Mean dwell time in the burst state, in seconds.
+    pub mean_burst_s: f64,
+}
+
+/// Completed-dwell statistics of one generated MMPP path, for validating the
+/// modulating chain against its configured transition rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MmppDwellStats {
+    /// Nanoseconds spent in completed calm dwells.
+    pub calm_ns: u128,
+    /// Nanoseconds spent in completed burst dwells.
+    pub burst_ns: u128,
+    /// Completed calm dwells.
+    pub calm_visits: u64,
+    /// Completed burst dwells.
+    pub burst_visits: u64,
+}
+
+impl MmppDwellStats {
+    /// Mean observed calm dwell, in seconds.
+    pub fn mean_calm_s(&self) -> f64 {
+        if self.calm_visits == 0 {
+            return 0.0;
+        }
+        self.calm_ns as f64 / self.calm_visits as f64 / 1e9
+    }
+
+    /// Mean observed burst dwell, in seconds.
+    pub fn mean_burst_s(&self) -> f64 {
+        if self.burst_visits == 0 {
+            return 0.0;
+        }
+        self.burst_ns as f64 / self.burst_visits as f64 / 1e9
+    }
+}
+
+impl Mmpp2 {
+    /// The long-run mean arrival rate: each state's rate weighted by the
+    /// fraction of time the chain spends there.
+    pub fn mean_rate_per_s(&self) -> f64 {
+        let total = self.mean_calm_s + self.mean_burst_s;
+        (self.calm_rate_per_s * self.mean_calm_s + self.burst_rate_per_s * self.mean_burst_s)
+            / total
+    }
+
+    /// Generates the first `n` arrival instants (nanoseconds, non-decreasing)
+    /// of one path starting in the calm state, plus the completed-dwell
+    /// statistics of the modulating chain over the generated span.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are non-negative (at least one positive) and
+    /// both mean dwells are positive.
+    pub fn arrival_times(&self, n: u64, rng: &mut StdRng) -> (Vec<u64>, MmppDwellStats) {
+        assert!(
+            self.calm_rate_per_s >= 0.0
+                && self.burst_rate_per_s >= 0.0
+                && (self.calm_rate_per_s > 0.0 || self.burst_rate_per_s > 0.0),
+            "MMPP needs a positive arrival rate in at least one state"
+        );
+        assert!(
+            self.mean_calm_s > 0.0 && self.mean_burst_s > 0.0,
+            "MMPP dwell means must be positive"
+        );
+        let mut arrivals = Vec::with_capacity(n as usize);
+        let mut stats = MmppDwellStats::default();
+        let mut burst = false;
+        let mut t_ns = 0.0f64;
+        let mut dwell_start = 0.0f64;
+        let mut switch_at = exp_gap_ns(1.0 / self.mean_calm_s, rng);
+        while (arrivals.len() as u64) < n {
+            let rate = if burst {
+                self.burst_rate_per_s
+            } else {
+                self.calm_rate_per_s
+            };
+            let next_arrival = if rate > 0.0 {
+                t_ns + exp_gap_ns(rate, rng)
+            } else {
+                f64::INFINITY
+            };
+            if next_arrival < switch_at {
+                t_ns = next_arrival;
+                arrivals.push(next_arrival.round() as u64);
+            } else {
+                // The chain switches state before the candidate arrival; the
+                // candidate is discarded (memorylessness makes a fresh draw
+                // at the new rate equivalent).
+                let dwell = ((switch_at - dwell_start).round().max(0.0)) as u128;
+                if burst {
+                    stats.burst_ns += dwell;
+                    stats.burst_visits += 1;
+                } else {
+                    stats.calm_ns += dwell;
+                    stats.calm_visits += 1;
+                }
+                t_ns = switch_at;
+                dwell_start = switch_at;
+                burst = !burst;
+                let mean = if burst {
+                    self.mean_burst_s
+                } else {
+                    self.mean_calm_s
+                };
+                switch_at = t_ns + exp_gap_ns(1.0 / mean, rng);
+            }
+        }
+        // Rounding can produce equal neighbours but never out-of-order ones;
+        // enforce monotonicity anyway so downstream code may rely on it.
+        for i in 1..arrivals.len() {
+            if arrivals[i] < arrivals[i - 1] {
+                arrivals[i] = arrivals[i - 1];
+            }
+        }
+        (arrivals, stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +286,67 @@ mod tests {
         let xs: Vec<u64> = (0..64).map(|_| d.sample(&mut a)).collect();
         let ys: Vec<u64> = (0..64).map(|_| d.sample(&mut b)).collect();
         assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn exponential_gaps_average_to_the_reciprocal_rate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exp_gap_ns(1.0e6, &mut rng)).sum();
+        // 1M/s → 1000ns mean gap.
+        assert!((sum / n as f64 / 1000.0 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn mmpp_arrivals_are_monotone_and_deterministic() {
+        let m = Mmpp2 {
+            calm_rate_per_s: 50.0e3,
+            burst_rate_per_s: 1.6e6,
+            mean_calm_s: 4.0e-3,
+            mean_burst_s: 1.0e-3,
+        };
+        let (a, _) = m.arrival_times(5_000, &mut StdRng::seed_from_u64(9));
+        let (b, _) = m.arrival_times(5_000, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.len(), 5_000);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_weights_states_by_dwell() {
+        let m = Mmpp2 {
+            calm_rate_per_s: 50.0e3,
+            burst_rate_per_s: 1.6e6,
+            mean_calm_s: 4.0e-3,
+            mean_burst_s: 1.0e-3,
+        };
+        // (50K*4 + 1600K*1) / 5 = 360K.
+        assert!((m.mean_rate_per_s() / 360.0e3 - 1.0).abs() < 1e-12);
+        // The generated path's empirical rate agrees over a long horizon.
+        let (a, _) = m.arrival_times(200_000, &mut StdRng::seed_from_u64(10));
+        let span_s = *a.last().unwrap() as f64 / 1e9;
+        let empirical = a.len() as f64 / span_s;
+        assert!(
+            (empirical / m.mean_rate_per_s() - 1.0).abs() < 0.05,
+            "empirical rate {empirical}"
+        );
+    }
+
+    #[test]
+    fn mmpp_bursts_pack_arrivals_closer_than_calm() {
+        let m = Mmpp2 {
+            calm_rate_per_s: 10.0e3,
+            burst_rate_per_s: 2.0e6,
+            mean_calm_s: 2.0e-3,
+            mean_burst_s: 0.5e-3,
+        };
+        let (a, stats) = m.arrival_times(50_000, &mut StdRng::seed_from_u64(11));
+        assert!(stats.calm_visits > 10 && stats.burst_visits > 10);
+        // Bimodal gaps: many tiny (burst) gaps, some large (calm) ones.
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let tiny = gaps.iter().filter(|&&g| g < 5_000).count();
+        let large = gaps.iter().filter(|&&g| g > 20_000).count();
+        assert!(tiny > gaps.len() / 2, "bursts dominate arrival counts");
+        assert!(large > 100, "calm stretches exist");
     }
 }

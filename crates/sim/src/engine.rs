@@ -18,8 +18,9 @@ use rand::SeedableRng;
 use crate::clock::SimTime;
 use crate::dist::LatencyDist;
 use crate::event::{Event, EventQueue};
-use crate::pipeline::PipelineParams;
-use crate::report::{DepthTimeline, SimReport};
+use crate::pipeline::{fair_shares, PipelineParams, QueuePairPolicy};
+use crate::report::{DepthTimeline, MultiTenantReport, SimReport, TenantSummary};
+use crate::tenant::{ArrivalProcess, Superposition, TenantSpec};
 
 /// Static description of one simulated request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,19 +190,58 @@ impl OccupancyMeter {
     }
 }
 
-/// Runs `requests` through the pipeline under the given arrival process and
-/// returns the run's report.
-///
-/// # Panics
-///
-/// Panics if `requests` is empty, the configuration has no queue pairs, or an
-/// open-loop rate is not positive.
-pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
-    assert!(!requests.is_empty(), "nothing to simulate");
-    assert!(
-        config.total_queue_pairs() > 0,
-        "need at least one queue pair"
-    );
+/// Engine-side state of one tenant during a run.
+struct TenantRt {
+    /// First global request index of the tenant's contiguous block.
+    base: u64,
+    /// Requests in the block.
+    count: u64,
+    /// Requests whose arrivals have been scheduled so far.
+    issued: u64,
+    /// `Some(in_flight)` for closed-loop tenants: completions refill.
+    refill: Option<u32>,
+    /// Completed-request latencies, in completion order.
+    latencies: Vec<u64>,
+    /// When the tenant's first request arrived.
+    first_arrival: Option<SimTime>,
+    /// When the tenant's last request completed.
+    last_completion: SimTime,
+}
+
+impl TenantRt {
+    fn new(base: u64, count: u64, issued: u64, refill: Option<u32>) -> Self {
+        Self {
+            base,
+            count,
+            issued,
+            refill,
+            latencies: Vec::with_capacity(count as usize),
+            first_arrival: None,
+            last_completion: SimTime::ZERO,
+        }
+    }
+}
+
+/// What the shared event loop hands back to its wrappers.
+struct CoreOutcome {
+    end: SimTime,
+    depth: DepthTimeline,
+    occupancy_mean: f64,
+    occupancy_max: u64,
+}
+
+/// The shared event loop: drives `requests` (routed by `qp_of`, attributed by
+/// `tenant_of`) from the pre-scheduled `arrivals` through the five-stage
+/// pipeline, refilling closed-loop tenants on completion. Latencies land in
+/// each tenant's [`TenantRt`].
+fn run_core(
+    config: &SimConfig,
+    requests: &[RequestDesc],
+    tenant_of: &[u32],
+    qp_of: &[u32],
+    arrivals: &[(SimTime, u32)],
+    tenants: &mut [TenantRt],
+) -> CoreOutcome {
     let n = requests.len() as u64;
     let total_qps = config.total_queue_pairs();
     let p = &config.pipeline;
@@ -215,18 +255,6 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
     let mut ssd_links: Vec<Center> = (0..config.num_ssds).map(|_| Center::new(1)).collect();
     let mut gpu_link = Center::new(1);
 
-    // Per-request routing and bookkeeping.
-    let mut qp_of: Vec<u32> = Vec::with_capacity(requests.len());
-    for (i, desc) in requests.iter().enumerate() {
-        let device = desc
-            .device
-            .map_or_else(|| (i as u32) % config.num_ssds, |d| d % config.num_ssds);
-        let local = desc.queue.map_or_else(
-            || ((i as u32) / config.num_ssds) % config.queue_pairs_per_ssd,
-            |q| q % config.queue_pairs_per_ssd,
-        );
-        qp_of.push(device * config.queue_pairs_per_ssd + local);
-    }
     let device_of = |req: u32| qp_of[req as usize] / config.queue_pairs_per_ssd;
     let ssd_link_ns =
         |desc: &RequestDesc| (desc.bytes as f64 * p.ssd_link_ns_per_byte).round() as u64;
@@ -234,27 +262,15 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
         |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
 
     let mut arrive_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut completed: u64 = 0;
     let mut depth_timeline = DepthTimeline::default();
     let mut depth: u32 = 0;
     let mut now = SimTime::ZERO;
 
-    let mut events = EventQueue::new();
-    let mut issued: u64 = match workload {
-        Workload::OpenLoop { rate_per_s } => {
-            assert!(rate_per_s > 0.0, "open-loop rate must be positive");
-            events.schedule(SimTime::ZERO, Event::Arrive { req: 0 });
-            1
-        }
-        Workload::ClosedLoop { in_flight } => {
-            assert!(in_flight > 0, "closed loop needs at least one request");
-            let initial = u64::from(in_flight).min(n);
-            for req in 0..initial {
-                events.schedule(SimTime::ZERO, Event::Arrive { req: req as u32 });
-            }
-            initial
-        }
-    };
+    let mut events = EventQueue::with_capacity(arrivals.len());
+    for &(at, req) in arrivals {
+        events.schedule(at, Event::Arrive { req });
+    }
 
     while let Some((at, event)) = events.pop() {
         debug_assert!(at >= now, "time went backwards");
@@ -262,17 +278,10 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
         match event {
             Event::Arrive { req } => {
                 arrive_at[req as usize] = now;
+                let t = &mut tenants[tenant_of[req as usize] as usize];
+                t.first_arrival.get_or_insert(now);
                 depth += 1;
                 depth_timeline.record(now, depth);
-                // Open loop: keep the arrival stream going.
-                if let Workload::OpenLoop { rate_per_s } = workload {
-                    if issued < n {
-                        let next_at =
-                            SimTime::from_ns((issued as f64 * 1e9 / rate_per_s).round() as u64);
-                        events.schedule(next_at, Event::Arrive { req: issued as u32 });
-                        issued += 1;
-                    }
-                }
                 let qp = qp_of[req as usize] as usize;
                 if queue_pairs[qp].admit(req) {
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
@@ -346,20 +355,23 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
                 events.schedule(now + p.completion_ns, Event::Complete { req });
             }
             Event::Complete { req } => {
-                latencies_ns.push(now - arrive_at[req as usize]);
+                let t = &mut tenants[tenant_of[req as usize] as usize];
+                t.latencies.push(now - arrive_at[req as usize]);
+                t.last_completion = now;
+                completed += 1;
                 depth -= 1;
                 depth_timeline.record(now, depth);
-                if let Workload::ClosedLoop { .. } = workload {
-                    if issued < n {
-                        events.schedule(now, Event::Arrive { req: issued as u32 });
-                        issued += 1;
-                    }
+                // Closed-loop tenants launch their next request immediately.
+                if t.refill.is_some() && t.issued < t.count {
+                    let next = (t.base + t.issued) as u32;
+                    t.issued += 1;
+                    events.schedule(now, Event::Arrive { req: next });
                 }
             }
         }
         // The nth completion is necessarily the last one (events pop in time
         // order); anything still queued is bookkeeping for finished requests.
-        if latencies_ns.len() as u64 == n {
+        if completed == n {
             break;
         }
     }
@@ -370,13 +382,215 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
         meters.iter().map(|m| m.mean(now)).sum::<f64>() / meters.len() as f64
     };
     let occupancy_max = meters.iter().map(|m| m.max).max().unwrap_or(0);
-    SimReport::build(
-        latencies_ns,
-        depth_timeline,
-        now,
+    CoreOutcome {
+        end: now,
+        depth: depth_timeline,
         occupancy_mean,
         occupancy_max,
+    }
+}
+
+/// Runs `requests` through the pipeline under the given arrival process and
+/// returns the run's report.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty, the configuration has no queue pairs, or an
+/// open-loop rate is not positive.
+pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
+    assert!(!requests.is_empty(), "nothing to simulate");
+    assert!(
+        config.total_queue_pairs() > 0,
+        "need at least one queue pair"
+    );
+    let n = requests.len() as u64;
+
+    // Legacy routing: explicit overrides win, everything else round-robins
+    // devices first and local queues second on the global request index.
+    let mut qp_of: Vec<u32> = Vec::with_capacity(requests.len());
+    for (i, desc) in requests.iter().enumerate() {
+        let device = desc
+            .device
+            .map_or_else(|| (i as u32) % config.num_ssds, |d| d % config.num_ssds);
+        let local = desc.queue.map_or_else(
+            || ((i as u32) / config.num_ssds) % config.queue_pairs_per_ssd,
+            |q| q % config.queue_pairs_per_ssd,
+        );
+        qp_of.push(device * config.queue_pairs_per_ssd + local);
+    }
+
+    let arrivals: Vec<(SimTime, u32)> = match workload {
+        Workload::OpenLoop { rate_per_s } => {
+            assert!(rate_per_s > 0.0, "open-loop rate must be positive");
+            (0..n)
+                .map(|i| {
+                    (
+                        SimTime::from_ns((i as f64 * 1e9 / rate_per_s).round() as u64),
+                        i as u32,
+                    )
+                })
+                .collect()
+        }
+        Workload::ClosedLoop { in_flight } => {
+            assert!(in_flight > 0, "closed loop needs at least one request");
+            (0..u64::from(in_flight).min(n))
+                .map(|i| (SimTime::ZERO, i as u32))
+                .collect()
+        }
+    };
+    let refill = match workload {
+        Workload::ClosedLoop { in_flight } => Some(in_flight),
+        Workload::OpenLoop { .. } => None,
+    };
+    let mut tenants = [TenantRt::new(0, n, arrivals.len() as u64, refill)];
+    let tenant_of = vec![0u32; requests.len()];
+    let outcome = run_core(
+        config,
+        requests,
+        &tenant_of,
+        &qp_of,
+        &arrivals,
+        &mut tenants,
+    );
+    let [rt] = tenants;
+    SimReport::build(
+        rt.latencies,
+        outcome.depth,
+        outcome.end,
+        outcome.occupancy_mean,
+        outcome.occupancy_max,
     )
+}
+
+/// Runs the superposed workloads of `tenants` through the pipeline, with
+/// queue pairs allocated by `policy`, and returns per-tenant accounting plus
+/// the merged view.
+///
+/// Each tenant's `requests` block uses the pipeline's access size with its
+/// writes Bresenham-interleaved, routed round-robin across the tenant's
+/// queue-pair allocation. Arrival streams are generated from per-tenant RNGs
+/// ([`TenantSpec::rng`]), so a tenant's stream is invariant under changes to
+/// its neighbours.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty, ids repeat, any tenant has zero requests,
+/// or ([`QueuePairPolicy::WeightedFair`] only) there are fewer queue pairs
+/// than tenants.
+pub fn run_tenants(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+) -> MultiTenantReport {
+    assert!(!tenants.is_empty(), "no tenants to simulate");
+    assert!(
+        config.total_queue_pairs() > 0,
+        "need at least one queue pair"
+    );
+    for (i, t) in tenants.iter().enumerate() {
+        assert!(t.requests > 0, "tenant {} has no requests", t.name);
+        assert!(
+            tenants[..i].iter().all(|u| u.id != t.id),
+            "duplicate tenant id {}",
+            t.id
+        );
+    }
+    let total_qps = config.total_queue_pairs();
+    let weights: Vec<u32> = tenants.iter().map(|t| t.weight).collect();
+    let shares: Vec<u32> = match policy {
+        QueuePairPolicy::Shared => vec![total_qps; tenants.len()],
+        QueuePairPolicy::WeightedFair => fair_shares(total_qps, &weights),
+    };
+    let mut share_base: Vec<u32> = Vec::with_capacity(tenants.len());
+    let mut acc = 0u32;
+    for &s in &shares {
+        share_base.push(acc);
+        acc += s;
+    }
+
+    // Flat request table: each tenant owns a contiguous block.
+    let mut bases: Vec<u64> = Vec::with_capacity(tenants.len());
+    let mut requests: Vec<RequestDesc> = Vec::new();
+    let mut tenant_of: Vec<u32> = Vec::new();
+    let mut qp_of: Vec<u32> = Vec::new();
+    for (ti, t) in tenants.iter().enumerate() {
+        bases.push(requests.len() as u64);
+        requests.extend(mixed_requests(config, t.requests, t.writes));
+        for k in 0..t.requests {
+            tenant_of.push(ti as u32);
+            let k = k as u32;
+            let qp = match policy {
+                // Devices first, local queues second — the legacy spread,
+                // but on the tenant's own arrival counter.
+                QueuePairPolicy::Shared => {
+                    let device = k % config.num_ssds;
+                    let local = (k / config.num_ssds) % config.queue_pairs_per_ssd;
+                    device * config.queue_pairs_per_ssd + local
+                }
+                // Round-robin within the tenant's partition of the global
+                // queue-pair space.
+                QueuePairPolicy::WeightedFair => share_base[ti] + (k % shares[ti]),
+            };
+            qp_of.push(qp);
+        }
+    }
+
+    let superposition = Superposition::generate(config.seed, tenants, &bases);
+    let mut rts: Vec<TenantRt> = tenants
+        .iter()
+        .zip(&bases)
+        .map(|(t, &base)| {
+            let refill = match t.arrival {
+                ArrivalProcess::ClosedLoop { in_flight } => Some(in_flight),
+                _ => None,
+            };
+            TenantRt::new(base, t.requests, t.arrival.prescheduled(t.requests), refill)
+        })
+        .collect();
+
+    let outcome = run_core(
+        config,
+        &requests,
+        &tenant_of,
+        &qp_of,
+        &superposition.arrivals,
+        &mut rts,
+    );
+
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut summaries: Vec<TenantSummary> = Vec::with_capacity(tenants.len());
+    for ((t, mut rt), &share) in tenants.iter().zip(rts).zip(&shares) {
+        all_latencies.extend_from_slice(&rt.latencies);
+        rt.latencies.sort_unstable();
+        let sorted = rt.latencies;
+        let first_arrival = rt.first_arrival.unwrap_or(SimTime::ZERO);
+        let span_s = (rt.last_completion - first_arrival) as f64 / 1e9;
+        summaries.push(TenantSummary {
+            id: t.id,
+            name: t.name.clone(),
+            weight: t.weight,
+            queue_pairs: share,
+            latency: crate::report::LatencySummary::from_sorted_ns(&sorted),
+            completed: sorted.len() as u64,
+            throughput_per_s: if span_s > 0.0 {
+                sorted.len() as f64 / span_s
+            } else {
+                0.0
+            },
+            first_arrival_s: first_arrival.as_secs_f64(),
+            last_completion_s: rt.last_completion.as_secs_f64(),
+        });
+    }
+    MultiTenantReport {
+        overall: SimReport::build(
+            all_latencies,
+            outcome.depth,
+            outcome.end,
+            outcome.occupancy_mean,
+            outcome.occupancy_max,
+        ),
+        tenants: summaries,
+    }
 }
 
 /// Convenience: `n` identical round-robin reads of the pipeline's access
@@ -524,6 +738,136 @@ mod tests {
         // Not all bunched at one end.
         assert!(reqs[..5].iter().any(|r| r.write));
         assert!(reqs[5..].iter().any(|r| r.write));
+    }
+
+    fn steady(id: u32, rate_per_s: f64, requests: u64) -> TenantSpec {
+        TenantSpec::new(
+            id,
+            &format!("steady-{id}"),
+            ArrivalProcess::Poisson { rate_per_s },
+            requests,
+        )
+    }
+
+    #[test]
+    fn run_tenants_is_deterministic_per_seed() {
+        let cfg = optane_config(4, 2, 4096, 21);
+        let tenants = [
+            steady(0, 100.0e3, 4_000),
+            TenantSpec::new(
+                1,
+                "burst",
+                ArrivalProcess::Mmpp(crate::dist::Mmpp2 {
+                    calm_rate_per_s: 50.0e3,
+                    burst_rate_per_s: 1.6e6,
+                    mean_calm_s: 4.0e-3,
+                    mean_burst_s: 1.0e-3,
+                }),
+                8_000,
+            ),
+        ];
+        for policy in [QueuePairPolicy::Shared, QueuePairPolicy::WeightedFair] {
+            let a = run_tenants(&cfg, &tenants, policy);
+            let b = run_tenants(&cfg, &tenants, policy);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn superposed_fixed_streams_add_their_rates() {
+        // Two 1M/s tenants behave like one 2M/s stream: overall throughput
+        // matches the aggregate arrival rate (the array is unsaturated).
+        let cfg = optane_config(1, 64, 512, 22);
+        let tenants = [
+            TenantSpec::new(
+                0,
+                "a",
+                ArrivalProcess::FixedRate { rate_per_s: 1.0e6 },
+                20_000,
+            ),
+            TenantSpec::new(
+                1,
+                "b",
+                ArrivalProcess::FixedRate { rate_per_s: 1.0e6 },
+                20_000,
+            ),
+        ];
+        let report = run_tenants(&cfg, &tenants, QueuePairPolicy::Shared);
+        assert_eq!(report.overall.completed, 40_000);
+        assert!(
+            (report.overall.throughput_per_s / 2.0e6 - 1.0).abs() < 0.02,
+            "aggregate throughput {}",
+            report.overall.throughput_per_s
+        );
+        for t in &report.tenants {
+            assert!((t.throughput_per_s / 1.0e6 - 1.0).abs() < 0.02);
+            assert!(t.latency.p50_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_fair_shares_follow_weights() {
+        let cfg = optane_config(4, 2, 4096, 23);
+        let mut heavy = steady(0, 100.0e3, 2_000);
+        heavy.weight = 3;
+        let light = steady(1, 100.0e3, 2_000);
+        let report = run_tenants(&cfg, &[heavy, light], QueuePairPolicy::WeightedFair);
+        assert_eq!(report.tenants[0].queue_pairs, 6);
+        assert_eq!(report.tenants[1].queue_pairs, 2);
+        // Shared policy reports the whole array for everyone.
+        let heavy = {
+            let mut t = steady(0, 100.0e3, 2_000);
+            t.weight = 3;
+            t
+        };
+        let shared = run_tenants(
+            &cfg,
+            &[heavy, steady(1, 100.0e3, 2_000)],
+            QueuePairPolicy::Shared,
+        );
+        assert!(shared.tenants.iter().all(|t| t.queue_pairs == 8));
+    }
+
+    #[test]
+    fn closed_loop_tenant_coexists_with_open_stream() {
+        let cfg = optane_config(1, 32, 512, 24);
+        let tenants = [
+            TenantSpec::new(
+                0,
+                "cl",
+                ArrivalProcess::ClosedLoop { in_flight: 64 },
+                20_000,
+            ),
+            steady(1, 200.0e3, 2_000),
+        ];
+        let report = run_tenants(&cfg, &tenants, QueuePairPolicy::Shared);
+        assert_eq!(report.overall.completed, 22_000);
+        let cl = report.tenant(0).unwrap();
+        let open = report.tenant(1).unwrap();
+        // The closed loop saturates its window; the Poisson tenant trickles.
+        assert!(cl.throughput_per_s > open.throughput_per_s * 5.0);
+        assert_eq!(cl.completed, 20_000);
+        assert_eq!(open.completed, 2_000);
+    }
+
+    #[test]
+    fn tenant_write_mix_is_bresenham_interleaved() {
+        let cfg = optane_config(1, 8, 512, 25);
+        let mut t = steady(0, 1.0e6, 10);
+        t.writes = 3;
+        let report = run_tenants(&cfg, &[t], QueuePairPolicy::Shared);
+        assert_eq!(report.overall.completed, 10);
+        // The run exercises the write path (slower media): latency spread
+        // between p50 and max reflects the two service classes.
+        assert!(report.overall.latency.max_us > report.overall.latency.p50_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant id")]
+    fn run_tenants_rejects_duplicate_ids() {
+        let cfg = optane_config(1, 8, 512, 26);
+        let tenants = [steady(0, 1.0e5, 10), steady(0, 1.0e5, 10)];
+        run_tenants(&cfg, &tenants, QueuePairPolicy::Shared);
     }
 
     #[test]

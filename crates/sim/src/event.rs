@@ -60,8 +60,14 @@ pub(crate) struct EventQueue {
 }
 
 impl EventQueue {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    /// A queue with room for `n` events — multi-tenant runs pre-schedule
+    /// every open-stream arrival up front, so the heap's eventual size is
+    /// known at construction.
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `at`.
@@ -88,7 +94,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order_with_fifo_ties() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         q.schedule(SimTime::from_ns(30), Event::Arrive { req: 3 });
         q.schedule(SimTime::from_ns(10), Event::Arrive { req: 1 });
         q.schedule(SimTime::from_ns(10), Event::Complete { req: 2 });

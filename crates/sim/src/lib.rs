@@ -15,8 +15,15 @@
 //!   [`bam_nvme_sim::SsdSpec`]s and [`bam_pcie::LinkSpec`] occupancies.
 //! * [`engine`] — the event loop: FIFO service centers per queue pair,
 //!   media-channel pool per SSD, per-device and shared PCIe links.
+//! * [`tenant`] — multi-tenant workloads: [`tenant::TenantSpec`] arrival
+//!   sources (fixed-rate, Poisson, closed-loop, and [`dist::Mmpp2`] bursts)
+//!   superposed into one stream ([`tenant::Superposition`]), with queue
+//!   pairs allocated shared or weighted-fair
+//!   ([`pipeline::QueuePairPolicy`]).
 //! * [`report::SimReport`] — percentiles, depth timelines, occupancy, and
-//!   the Little's-law cross-check against `bam_timing::littles`.
+//!   the Little's-law cross-check against `bam_timing::littles`;
+//!   [`report::MultiTenantReport`] adds per-tenant accounting and the
+//!   interference metric.
 //! * [`trace`] — a [`bam_nvme_sim::SimHook`] implementation that captures
 //!   the I/O stream of a functional run for replay under the engine.
 //!
@@ -45,11 +52,15 @@ pub mod engine;
 mod event;
 pub mod pipeline;
 pub mod report;
+pub mod tenant;
 pub mod trace;
 
 pub use clock::SimTime;
-pub use dist::LatencyDist;
-pub use engine::{run, uniform_reads, RequestDesc, SimConfig, Workload};
-pub use pipeline::{tail_sigma, PipelineParams};
-pub use report::{DepthTimeline, LatencySummary, SimReport};
+pub use dist::{LatencyDist, Mmpp2, MmppDwellStats};
+pub use engine::{run, run_tenants, uniform_reads, RequestDesc, SimConfig, Workload};
+pub use pipeline::{fair_shares, tail_sigma, PipelineParams, QueuePairPolicy};
+pub use report::{
+    interference_ratio, DepthTimeline, LatencySummary, MultiTenantReport, SimReport, TenantSummary,
+};
+pub use tenant::{ArrivalProcess, Superposition, TenantSpec};
 pub use trace::{IoTrace, TraceRecorder};

@@ -30,6 +30,82 @@ use crate::dist::LatencyDist;
 /// ring the doorbell, in nanoseconds.
 const QP_FORWARD_NS: u64 = 200;
 
+/// How the array's queue pairs are allocated among tenants in a multi-tenant
+/// run ([`crate::engine::run_tenants`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueuePairPolicy {
+    /// Free-for-all: every tenant round-robins across every queue pair, so a
+    /// bursty tenant's backlog sits in front of everyone else's commands.
+    #[default]
+    Shared,
+    /// Weighted-fair: the global queue-pair space is partitioned among
+    /// tenants in proportion to their weights ([`fair_shares`]); each tenant
+    /// round-robins only within its own partition, so backlog stays with the
+    /// tenant that caused it.
+    ///
+    /// Partitions are contiguous slices of the global queue-pair index
+    /// space, and queue pairs map to devices as `qp / queue_pairs_per_ssd` —
+    /// so when a tenant's share is smaller than the array, its media
+    /// channels and per-device link are partitioned along with its queue
+    /// pairs (an SR-IOV-style hard slice, not submission-slot arbitration
+    /// over shared media).
+    WeightedFair,
+}
+
+impl QueuePairPolicy {
+    /// Short label used in printed tables and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePairPolicy::Shared => "shared",
+            QueuePairPolicy::WeightedFair => "weighted-fair",
+        }
+    }
+}
+
+/// Splits `total` queue pairs among tenants in proportion to `weights`
+/// (largest-remainder method), guaranteeing every tenant at least one queue
+/// pair. Deterministic: remainder ties break toward lower indices.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, any weight is zero, or `total` is smaller
+/// than the number of tenants.
+pub fn fair_shares(total: u32, weights: &[u32]) -> Vec<u32> {
+    assert!(!weights.is_empty(), "no tenants to allocate to");
+    assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+    assert!(
+        total as usize >= weights.len(),
+        "need at least one queue pair per tenant ({total} for {})",
+        weights.len()
+    );
+    let sum: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut shares: Vec<u32> = weights
+        .iter()
+        .map(|&w| (u64::from(total) * u64::from(w) / sum) as u32)
+        .collect();
+    // Hand out the remainder by largest fractional part (lower index wins
+    // ties), then lift any zero share to one by taking from the largest.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| {
+        let frac = u64::from(total) * u64::from(weights[i]) % sum;
+        (std::cmp::Reverse(frac), i)
+    });
+    let assigned: u32 = shares.iter().sum();
+    for &i in order.iter().take((total - assigned) as usize) {
+        shares[i] += 1;
+    }
+    for i in 0..shares.len() {
+        while shares[i] == 0 {
+            let largest = (0..shares.len()).max_by_key(|&j| shares[j]).unwrap();
+            debug_assert!(shares[largest] > 1);
+            shares[largest] -= 1;
+            shares[i] += 1;
+        }
+    }
+    debug_assert_eq!(shares.iter().sum::<u32>(), total);
+    shares
+}
+
 /// Stage parameters of one SSD's request pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineParams {
@@ -209,6 +285,33 @@ mod tests {
     #[test]
     fn nand_tail_is_heavier_than_optane() {
         assert!(tail_sigma(SsdTechnology::NandFlash) > tail_sigma(SsdTechnology::Optane));
+    }
+
+    #[test]
+    fn fair_shares_proportional_and_exhaustive() {
+        assert_eq!(fair_shares(8, &[1, 1]), vec![4, 4]);
+        assert_eq!(fair_shares(8, &[3, 1]), vec![6, 2]);
+        assert_eq!(fair_shares(8, &[1, 1, 1, 1, 1, 1, 1, 1]), vec![1; 8]);
+        // Remainders go to the largest fractional parts, lower index first.
+        assert_eq!(fair_shares(10, &[1, 1, 1]), vec![4, 3, 3]);
+        // Every allocation is exhaustive.
+        for (total, weights) in [(7u32, vec![2u32, 5]), (128, vec![1, 2, 3, 4])] {
+            assert_eq!(fair_shares(total, &weights).iter().sum::<u32>(), total);
+        }
+    }
+
+    #[test]
+    fn fair_shares_guarantees_a_queue_pair_to_tiny_weights() {
+        let shares = fair_shares(8, &[1000, 1, 1]);
+        assert_eq!(shares.iter().sum::<u32>(), 8);
+        assert!(shares.iter().all(|&s| s >= 1), "{shares:?}");
+        assert!(shares[0] >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue pair per tenant")]
+    fn fair_shares_rejects_too_few_queue_pairs() {
+        fair_shares(2, &[1, 1, 1]);
     }
 
     #[test]

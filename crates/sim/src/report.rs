@@ -34,7 +34,7 @@ fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
 }
 
 impl LatencySummary {
-    fn from_sorted_ns(sorted: &[u64]) -> Self {
+    pub(crate) fn from_sorted_ns(sorted: &[u64]) -> Self {
         if sorted.is_empty() {
             return Self::default();
         }
@@ -187,6 +187,58 @@ impl SimReport {
     }
 }
 
+/// Per-tenant accounting of one multi-tenant run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// The tenant's stable identifier.
+    pub id: u32,
+    /// The tenant's name.
+    pub name: String,
+    /// The tenant's queue-pair weight.
+    pub weight: u32,
+    /// Queue pairs the allocation policy granted this tenant.
+    pub queue_pairs: u32,
+    /// Latency summary over the tenant's own completed requests.
+    pub latency: LatencySummary,
+    /// Requests the tenant completed.
+    pub completed: u64,
+    /// Completions per second over the tenant's active span (first arrival
+    /// to last completion).
+    pub throughput_per_s: f64,
+    /// When the tenant's first request arrived, in seconds.
+    pub first_arrival_s: f64,
+    /// When the tenant's last request completed, in seconds.
+    pub last_completion_s: f64,
+}
+
+/// Everything a multi-tenant simulation run produces: the merged view plus
+/// one [`TenantSummary`] per tenant.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantReport {
+    /// The run seen as one merged stream (overall percentiles, throughput,
+    /// depth timeline, queue occupancy).
+    pub overall: SimReport,
+    /// Per-tenant accounting, in tenant declaration order.
+    pub tenants: Vec<TenantSummary>,
+}
+
+impl MultiTenantReport {
+    /// The summary for tenant `id`, if present.
+    pub fn tenant(&self, id: u32) -> Option<&TenantSummary> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+/// The interference metric: how much a tenant's co-run p99 inflated over its
+/// solo p99 under the same configuration and policy (1.0 = perfect
+/// isolation; 2.0 = the neighbours doubled its tail).
+pub fn interference_ratio(corun_p99_us: f64, solo_p99_us: f64) -> f64 {
+    if solo_p99_us <= 0.0 {
+        return f64::NAN;
+    }
+    corun_p99_us / solo_p99_us
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +289,13 @@ mod tests {
         assert!(t.sampled(1000).len() <= 1000);
         assert_eq!(t.sampled(1999).len(), 1999);
         assert!(t.sampled(0).is_empty());
+    }
+
+    #[test]
+    fn interference_is_a_p99_ratio_with_guarded_zero() {
+        assert!((interference_ratio(22.0, 11.0) - 2.0).abs() < 1e-12);
+        assert!((interference_ratio(11.0, 11.0) - 1.0).abs() < 1e-12);
+        assert!(interference_ratio(11.0, 0.0).is_nan());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Multi-tenant workloads: per-tenant arrival processes and their
+//! superposition into one merged request stream.
+//!
+//! A [`TenantSpec`] describes one independent traffic source — its arrival
+//! process, request mix, and queue-pair weight. [`Superposition`] merges the
+//! open streams of N tenants into a single time-ordered arrival schedule
+//! (closed-loop tenants refill event-driven inside the engine instead), with
+//! each tenant driven by its own seeded RNG so adding a tenant never perturbs
+//! another tenant's stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+use crate::dist::Mmpp2;
+
+/// How one tenant's requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Deterministic arrivals at a fixed rate (the legacy open loop).
+    FixedRate {
+        /// Arrival rate in requests per second.
+        rate_per_s: f64,
+    },
+    /// Poisson arrivals: exponential interarrival gaps at `rate_per_s`.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+    },
+    /// A fixed number of outstanding requests; every completion immediately
+    /// launches the next (the GPU-threads-keep-queues-full model of §2.2).
+    ClosedLoop {
+        /// Concurrently outstanding requests.
+        in_flight: u32,
+    },
+    /// Markov-modulated Poisson bursts ([`Mmpp2`]): the bursty-antagonist
+    /// model.
+    Mmpp(Mmpp2),
+}
+
+impl ArrivalProcess {
+    /// How many of a tenant's `requests` arrivals are pre-scheduled before
+    /// the engine starts: everything for open streams, only the initial
+    /// in-flight window for closed loops (the rest refill event-driven on
+    /// completion). The single source of truth keeping
+    /// [`Superposition::generate`] and the engine's issued-count bookkeeping
+    /// in sync.
+    pub(crate) fn prescheduled(self, requests: u64) -> u64 {
+        match self {
+            ArrivalProcess::ClosedLoop { in_flight } => u64::from(in_flight).min(requests),
+            _ => requests,
+        }
+    }
+}
+
+/// One independent traffic source in a multi-tenant run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Stable identifier; also salts the tenant's private RNG stream.
+    pub id: u32,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// How this tenant's requests arrive.
+    pub arrival: ArrivalProcess,
+    /// Total requests the tenant issues over the run.
+    pub requests: u64,
+    /// How many of those requests are writes (Bresenham-interleaved).
+    pub writes: u64,
+    /// Relative queue-pair weight under
+    /// [`crate::pipeline::QueuePairPolicy::WeightedFair`].
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A read-only tenant with weight 1 and the given arrival process.
+    pub fn new(id: u32, name: &str, arrival: ArrivalProcess, requests: u64) -> Self {
+        Self {
+            id,
+            name: name.to_string(),
+            arrival,
+            requests,
+            writes: 0,
+            weight: 1,
+        }
+    }
+
+    /// The tenant's private RNG, derived from the run seed and its id so
+    /// streams are independent and adding a tenant never shifts another's
+    /// arrivals.
+    pub(crate) fn rng(&self, run_seed: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            run_seed ^ (u64::from(self.id) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+/// The merged arrival schedule of N tenants: every open-stream arrival with
+/// its global request index, in time order, plus the initial batch of each
+/// closed-loop tenant (scheduled at time zero; refills are event-driven).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Superposition {
+    /// `(instant, global request index)` for every pre-generated arrival,
+    /// sorted by time (ties keep tenant declaration order).
+    pub arrivals: Vec<(SimTime, u32)>,
+}
+
+impl Superposition {
+    /// Generates and merges the arrival streams of `tenants`. `bases[t]` is
+    /// tenant `t`'s first global request index (its requests are contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or a closed loop without capacity.
+    pub fn generate(run_seed: u64, tenants: &[TenantSpec], bases: &[u64]) -> Self {
+        let mut arrivals: Vec<(SimTime, u32)> = Vec::new();
+        for (tenant, &base) in tenants.iter().zip(bases) {
+            let mut rng = tenant.rng(run_seed);
+            let n = tenant.requests;
+            let times_ns: Vec<u64> = match tenant.arrival {
+                ArrivalProcess::FixedRate { rate_per_s } => {
+                    assert!(rate_per_s > 0.0, "fixed rate must be positive");
+                    (0..n)
+                        .map(|i| (i as f64 * 1e9 / rate_per_s).round() as u64)
+                        .collect()
+                }
+                ArrivalProcess::Poisson { rate_per_s } => {
+                    assert!(rate_per_s > 0.0, "Poisson rate must be positive");
+                    let mut t = 0.0f64;
+                    let mut out = Vec::with_capacity(n as usize);
+                    let mut last = 0u64;
+                    for _ in 0..n {
+                        t += crate::dist::exp_gap_ns(rate_per_s, &mut rng);
+                        last = last.max(t.round() as u64);
+                        out.push(last);
+                    }
+                    out
+                }
+                ArrivalProcess::ClosedLoop { in_flight } => {
+                    assert!(in_flight > 0, "closed loop needs at least one request");
+                    vec![0; tenant.arrival.prescheduled(n) as usize]
+                }
+                ArrivalProcess::Mmpp(m) => m.arrival_times(n, &mut rng).0,
+            };
+            arrivals.extend(
+                times_ns
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ns)| (SimTime::from_ns(ns), (base + i as u64) as u32)),
+            );
+        }
+        // Stable sort: same-instant arrivals keep tenant declaration order.
+        arrivals.sort_by_key(|&(at, _)| at);
+        Self { arrivals }
+    }
+
+    /// Arrivals a tenant contributes before the engine starts (everything for
+    /// open streams, the initial window for closed loops).
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when no tenant contributed any arrival.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_matches_the_legacy_spacing() {
+        let t = TenantSpec::new(0, "t0", ArrivalProcess::FixedRate { rate_per_s: 1.0e6 }, 4);
+        let s = Superposition::generate(1, &[t], &[0]);
+        let times: Vec<u64> = s.arrivals.iter().map(|&(at, _)| at.as_ns()).collect();
+        assert_eq!(times, vec![0, 1000, 2000, 3000]);
+    }
+
+    #[test]
+    fn superposition_merges_in_time_order_with_stable_ties() {
+        let a = TenantSpec::new(0, "a", ArrivalProcess::FixedRate { rate_per_s: 1.0e6 }, 3);
+        let b = TenantSpec::new(1, "b", ArrivalProcess::FixedRate { rate_per_s: 1.0e6 }, 3);
+        let s = Superposition::generate(1, &[a, b], &[0, 3]);
+        assert_eq!(s.len(), 6);
+        // Ties at 0, 1000, 2000 ns: tenant 0's request precedes tenant 1's.
+        let reqs: Vec<u32> = s.arrivals.iter().map(|&(_, r)| r).collect();
+        assert_eq!(reqs, vec![0, 3, 1, 4, 2, 5]);
+        assert!(s.arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn closed_loop_contributes_only_the_initial_window() {
+        let t = TenantSpec::new(0, "cl", ArrivalProcess::ClosedLoop { in_flight: 4 }, 100);
+        let s = Superposition::generate(1, &[t], &[0]);
+        assert_eq!(s.len(), 4);
+        assert!(s.arrivals.iter().all(|&(at, _)| at == SimTime::ZERO));
+    }
+
+    #[test]
+    fn tenant_streams_are_independent_of_neighbours() {
+        let mk = |id| TenantSpec::new(id, "p", ArrivalProcess::Poisson { rate_per_s: 1.0e5 }, 50);
+        let solo = Superposition::generate(7, &[mk(1)], &[0]);
+        let pair = Superposition::generate(7, &[mk(0), mk(1)], &[0, 50]);
+        let solo_times: Vec<SimTime> = solo.arrivals.iter().map(|&(at, _)| at).collect();
+        let pair_times: Vec<SimTime> = pair
+            .arrivals
+            .iter()
+            .filter(|&&(_, r)| r >= 50)
+            .map(|&(at, _)| at)
+            .collect();
+        assert_eq!(solo_times, pair_times, "tenant 1's stream must not move");
+    }
+}

@@ -7,8 +7,10 @@
 //! latencies against the ×16 link's 512 B (51 M IOPS) and 4 KB (6.35 M IOPS)
 //! command rates.
 
-use bam_sim::{engine, SimConfig, Workload};
+use bam_sim::{engine, ArrivalProcess, Mmpp2, QueuePairPolicy, SimConfig, TenantSpec, Workload};
 use bam_timing::{required_queue_depth, steady_state_in_flight};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Runs one worked example open-loop and returns the measured steady-state
 /// mean in-flight depth.
@@ -61,6 +63,83 @@ fn littles_identity_holds_inside_the_engine() {
         // The pure-delay scenario adds no queueing: the simulated latency is
         // the configured one.
         assert!((report.latency.mean_us / latency_us - 1.0).abs() < 0.01);
+    }
+}
+
+#[test]
+fn mmpp_dwell_statistics_match_the_configured_transition_rates() {
+    // The modulating chain's observed mean dwells must reproduce the
+    // configured ones — the MMPP is only a valid burst model if its state
+    // process has the right time constants.
+    let m = Mmpp2 {
+        calm_rate_per_s: 200.0e3,
+        burst_rate_per_s: 2.0e6,
+        mean_calm_s: 2.0e-3,
+        mean_burst_s: 0.5e-3,
+    };
+    let mut rng = StdRng::seed_from_u64(0xD11);
+    let (arrivals, stats) = m.arrival_times(600_000, &mut rng);
+    assert_eq!(arrivals.len(), 600_000);
+    assert!(
+        stats.calm_visits > 300 && stats.burst_visits > 300,
+        "need enough completed dwells for stable statistics \
+         ({} calm, {} burst)",
+        stats.calm_visits,
+        stats.burst_visits
+    );
+    let calm_rel = (stats.mean_calm_s() / m.mean_calm_s - 1.0).abs();
+    let burst_rel = (stats.mean_burst_s() / m.mean_burst_s - 1.0).abs();
+    assert!(
+        calm_rel < 0.10,
+        "calm dwell {} vs configured {} ({:.1}% off)",
+        stats.mean_calm_s(),
+        m.mean_calm_s,
+        calm_rel * 100.0
+    );
+    assert!(
+        burst_rel < 0.10,
+        "burst dwell {} vs configured {} ({:.1}% off)",
+        stats.mean_burst_s(),
+        m.mean_burst_s,
+        burst_rel * 100.0
+    );
+}
+
+#[test]
+fn superposed_poisson_streams_agree_with_littles_law() {
+    // Four independent Poisson tenants at 1.5M/s each against a pure 11us
+    // delay: the merged stream is Poisson at 6M/s, so the measured
+    // steady-state in-flight population must pin to T*L = 66 within 5% —
+    // the same identity `bam_timing::littles` applies analytically.
+    let per_tenant_rate = 1.5e6;
+    let tenants: Vec<TenantSpec> = (0..4)
+        .map(|id| {
+            TenantSpec::new(
+                id,
+                &format!("poisson-{id}"),
+                ArrivalProcess::Poisson {
+                    rate_per_s: per_tenant_rate,
+                },
+                60_000,
+            )
+        })
+        .collect();
+    let config = SimConfig::worked_example(11.0, 0xBA5);
+    let report = engine::run_tenants(&config, &tenants, QueuePairPolicy::Shared);
+    let aggregate = 4.0 * per_tenant_rate;
+    let analytic = steady_state_in_flight(aggregate, 11.0);
+    let measured = report.overall.depth.steady_state_mean();
+    let rel = (measured / analytic - 1.0).abs();
+    assert!(
+        rel < 0.05,
+        "superposed in-flight {measured:.1} vs analytic {analytic:.1} ({:.2}% off)",
+        rel * 100.0
+    );
+    // Each tenant individually sustains its own rate and sees the same
+    // unloaded latency (pure delay adds no cross-tenant queueing).
+    for t in &report.tenants {
+        assert!((t.throughput_per_s / per_tenant_rate - 1.0).abs() < 0.05);
+        assert!((t.latency.mean_us / 11.0 - 1.0).abs() < 0.01);
     }
 }
 
