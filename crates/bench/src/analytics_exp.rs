@@ -123,6 +123,11 @@ impl AnalyticsMeasurement {
             bytes_written,
             bytes_requested: (scan_requested as f64 * row_factor
                 + dep_requested as f64 * sel_factor) as u64,
+            // Retries and journal traffic follow the dependent (write-side)
+            // accesses; the scan never retries or journals in this workload.
+            storage_retries: dep_count(m.storage_retries),
+            journal_appends: dep_count(m.journal_appends),
+            journal_bytes: dep_bytes(m.journal_bytes),
         }
     }
 }

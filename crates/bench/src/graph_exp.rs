@@ -101,6 +101,10 @@ impl GraphMeasurement {
             bytes_read: (m.bytes_read as f64 * f) as u64,
             bytes_written: (m.bytes_written as f64 * f) as u64,
             bytes_requested: (m.bytes_requested as f64 * f) as u64,
+            // Retry and journal traffic scale like their request counts.
+            storage_retries: (m.storage_retries as f64 * f * line_ratio) as u64,
+            journal_appends: (m.journal_appends as f64 * f * line_ratio) as u64,
+            journal_bytes: (m.journal_bytes as f64 * f) as u64,
         }
     }
 

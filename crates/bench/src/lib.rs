@@ -31,6 +31,7 @@
 //! | [`analytics_exp::figure14`] | Fig 14 (RAPIDS breakdown) |
 //! | [`misc_exp::figure15`] | Fig 15 (UVM vs ZeroCopy) |
 //! | [`misc_exp::vectoradd_eval`] | §5.4 (vectorAdd) |
+//! | [`recovery_exp::recovery_sweep`] | Crash-recovery sweep (journal replay; beyond the paper) |
 
 pub mod analytics_exp;
 pub mod drift;
@@ -38,6 +39,7 @@ pub mod graph_exp;
 pub mod jsonout;
 pub mod micro_exp;
 pub mod misc_exp;
+pub mod recovery_exp;
 pub mod scale;
 pub mod sim_exp;
 

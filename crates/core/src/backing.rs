@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use bam_mem::{ByteRegion, DevAddr};
 
+use crate::crash::{CrashPoint, StepOutcome};
 use crate::error::BamError;
 
 /// A source/sink for whole cache lines.
@@ -111,6 +112,55 @@ impl CacheBacking for MemoryBacking {
     }
 }
 
+/// A [`CacheBacking`] decorator that subjects media write-backs to a
+/// [`CrashPoint`].
+///
+/// Every `writeback_line` consumes one durable step; if the crash trips, the
+/// write **does not reach the media** and [`BamError::Crashed`] is returned.
+/// Once the stack is down, fetches fail too (the devices are gone with the
+/// host). Recovery code talks to the *inner* backing directly — it runs
+/// after the reboot.
+pub struct CrashBacking {
+    inner: Arc<dyn CacheBacking>,
+    crash: Arc<CrashPoint>,
+}
+
+impl CrashBacking {
+    /// Wraps `inner` so its write-backs consume durable steps on `crash`.
+    pub fn new(inner: Arc<dyn CacheBacking>, crash: Arc<CrashPoint>) -> Self {
+        Self { inner, crash }
+    }
+
+    /// The undecorated backing store (what recovery replays against).
+    pub fn inner(&self) -> &Arc<dyn CacheBacking> {
+        &self.inner
+    }
+}
+
+impl CacheBacking for CrashBacking {
+    fn line_bytes(&self) -> u64 {
+        self.inner.line_bytes()
+    }
+
+    fn num_lines(&self) -> u64 {
+        self.inner.num_lines()
+    }
+
+    fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
+        if self.crash.is_crashed() {
+            return Err(BamError::Crashed);
+        }
+        self.inner.fetch_line(line, dst)
+    }
+
+    fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
+        match self.crash.consume_step() {
+            StepOutcome::Run => self.inner.writeback_line(line, src),
+            StepOutcome::Crash { .. } | StepOutcome::Down => Err(BamError::Crashed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +195,32 @@ mod tests {
             b.writeback_line(9, 0),
             Err(BamError::IndexOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn crash_backing_drops_the_tripped_writeback() {
+        let data = Arc::new(ByteRegion::new(4096));
+        let gpu = Arc::new(ByteRegion::new(4096));
+        let inner = Arc::new(MemoryBacking::new(data.clone(), 0, gpu.clone(), 512, 8));
+        let cp = Arc::new(CrashPoint::new());
+        let b = CrashBacking::new(inner, cp.clone());
+
+        gpu.write_bytes(0, &[5u8; 512]);
+        b.writeback_line(0, 0).unwrap(); // step 0 runs
+        cp.arm(1, 0);
+        gpu.write_bytes(512, &[6u8; 512]);
+        assert_eq!(b.writeback_line(1, 512), Err(BamError::Crashed));
+        // The tripped write never reached the media...
+        let mut out = [0u8; 512];
+        data.read_bytes(512, &mut out);
+        assert!(out.iter().all(|&x| x == 0));
+        // ...and while down, everything fails.
+        assert_eq!(b.fetch_line(0, 1024), Err(BamError::Crashed));
+        assert_eq!(b.writeback_line(0, 0), Err(BamError::Crashed));
+        // The reboot restores service.
+        cp.reset();
+        assert!(b.fetch_line(0, 1024).is_ok());
+        data.read_bytes(0, &mut out);
+        assert!(out.iter().all(|&x| x == 5));
     }
 }

@@ -26,6 +26,7 @@ use bam_mem::DevAddr;
 
 use crate::backing::CacheBacking;
 use crate::error::BamError;
+use crate::journal::CacheJournal;
 use crate::metrics::BamMetrics;
 
 const STATE_INVALID: u64 = 0;
@@ -122,6 +123,9 @@ pub struct BamCache {
     slots_base: DevAddr,
     line_bytes: u64,
     num_slots: u64,
+    /// Write-ahead metadata journal; when present, every acknowledged write
+    /// and every dirty-line write-back is journalled (see [`crate::journal`]).
+    journal: Option<Arc<CacheJournal>>,
 }
 
 impl std::fmt::Debug for BamCache {
@@ -166,7 +170,22 @@ impl BamCache {
             slots_base,
             line_bytes,
             num_slots,
+            journal: None,
         }
+    }
+
+    /// Attaches a write-ahead journal: from here on, writes acknowledged via
+    /// [`BamCache::journal_write`] and dirty-line write-backs are durably
+    /// logged, making the cache crash-recoverable through
+    /// [`crate::journal::recover`].
+    pub fn with_journal(mut self, journal: Arc<CacheJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached write-ahead journal, if any.
+    pub fn journal(&self) -> Option<&Arc<CacheJournal>> {
+        self.journal.as_ref()
     }
 
     /// Cache line size in bytes.
@@ -269,6 +288,56 @@ impl BamCache {
         }
     }
 
+    /// Journals an application write of `payload` at byte `offset` within
+    /// `line`. Must be called *before* the data is written to the cached line
+    /// and acknowledged — the journal append is the acknowledgement point; a
+    /// write whose append crashed was never acknowledged and owes the
+    /// application nothing.
+    ///
+    /// A no-op when no journal is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::Crashed`] if an injected crash point tripped
+    /// during the append.
+    pub fn journal_write(&self, line: u64, offset: u64, payload: &[u8]) -> Result<(), BamError> {
+        if let Some(journal) = &self.journal {
+            let appended = journal.append_write(line, offset, payload)?;
+            self.metrics.record_journal_append(appended.bytes);
+        }
+        Ok(())
+    }
+
+    /// Writes `line` back to the backing store under write-ahead journalling:
+    /// intent before the media write, commit after it succeeded. Without a
+    /// journal this is a plain write-back.
+    fn journalled_writeback(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
+        let Some(journal) = &self.journal else {
+            return self.backing.writeback_line(line, src);
+        };
+        let intent = journal.append_writeback_intent(line)?;
+        self.metrics.record_journal_append(intent.bytes);
+        self.backing.writeback_line(line, src)?;
+        let commit = journal.append_writeback_commit(line, intent.lsn)?;
+        self.metrics.record_journal_append(commit.bytes);
+        Ok(())
+    }
+
+    /// Rebuilds the cache directory after a crash: every line is INVALID,
+    /// every slot empty, the clock hand rewound. Cached data in GPU memory is
+    /// volatile and did not survive the crash; the journal replay
+    /// ([`crate::journal::recover`]) has already restored acknowledged writes
+    /// to the backing store, so a cold directory *is* the consistent state.
+    pub fn reset_after_crash(&self) {
+        for state in &self.line_state {
+            state.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
+        }
+        for slot in &self.slot_to_line {
+            slot.store(0, Ordering::Release);
+        }
+        self.clock.store(0, Ordering::Release);
+    }
+
     /// Releases one reference on `line` (used by [`LineGuard::drop`]).
     fn release(&self, line: u64) {
         let prev = self.line_state[line as usize].fetch_sub(1 << REF_SHIFT, Ordering::AcqRel);
@@ -319,8 +388,13 @@ impl BamCache {
                 continue;
             }
             if is_dirty(cur) {
-                self.backing
-                    .writeback_line(victim_line, self.slot_addr(slot))?;
+                if let Err(e) = self.journalled_writeback(victim_line, self.slot_addr(slot)) {
+                    // Put the victim back exactly as found (valid, dirty,
+                    // unpinned, same slot) so the line is neither wedged busy
+                    // nor silently stripped of its dirty data.
+                    vstate.store(cur, Ordering::Release);
+                    return Err(e);
+                }
                 self.metrics.record_writeback();
             }
             vstate.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
@@ -353,8 +427,12 @@ impl BamCache {
                     .compare_exchange(cur, cleaned, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    self.backing
-                        .writeback_line(line, self.slot_addr(slot_of(cur)))?;
+                    if let Err(e) = self.journalled_writeback(line, self.slot_addr(slot_of(cur))) {
+                        // The media write failed, so the line is still dirty:
+                        // restore the bit or the data would be silently lost.
+                        state.fetch_or(DIRTY_BIT, Ordering::AcqRel);
+                        return Err(e);
+                    }
                     self.metrics.record_writeback();
                     flushed += 1;
                     break;
@@ -610,6 +688,155 @@ mod tests {
             cache.acquire(64),
             Err(BamError::IndexOutOfBounds { .. })
         ));
+    }
+
+    /// A backing store whose write-backs fail while `broken` is set.
+    struct FlakyWriteback {
+        inner: MemoryBacking,
+        broken: std::sync::atomic::AtomicBool,
+    }
+
+    impl CacheBacking for FlakyWriteback {
+        fn line_bytes(&self) -> u64 {
+            self.inner.line_bytes()
+        }
+
+        fn num_lines(&self) -> u64 {
+            self.inner.num_lines()
+        }
+
+        fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
+            self.inner.fetch_line(line, dst)
+        }
+
+        fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
+            if self.broken.load(std::sync::atomic::Ordering::Acquire) {
+                return Err(BamError::Crashed);
+            }
+            self.inner.writeback_line(line, src)
+        }
+    }
+
+    fn flaky_rig(num_slots: u64) -> (Arc<ByteRegion>, Arc<FlakyWriteback>, BamCache) {
+        let data = Arc::new(ByteRegion::new(64 * 512));
+        let gpu = Arc::new(ByteRegion::new(1 << 20));
+        let backing = Arc::new(FlakyWriteback {
+            inner: MemoryBacking::new(data, 0, gpu.clone(), 512, 64),
+            broken: std::sync::atomic::AtomicBool::new(false),
+        });
+        let metrics = Arc::new(BamMetrics::new());
+        let cache = BamCache::new(backing.clone(), metrics, 0, num_slots);
+        (gpu, backing, cache)
+    }
+
+    #[test]
+    fn failed_eviction_writeback_restores_the_victim() {
+        let (gpu, backing, cache) = flaky_rig(1);
+        {
+            let g = cache.acquire(3).unwrap();
+            gpu.write_bytes(g.addr(), &[0xBBu8; 512]);
+            g.mark_dirty();
+        }
+        backing
+            .broken
+            .store(true, std::sync::atomic::Ordering::Release);
+        // Evicting line 3 fails at the media; neither line may be left busy,
+        // and line 3 must keep its dirty data.
+        assert_eq!(cache.acquire(9).unwrap_err(), BamError::Crashed);
+        let (state, refs, dirty) = cache.line_debug(3);
+        assert_eq!(state, STATE_VALID as u8, "victim wedged");
+        assert_eq!(refs, 0);
+        assert!(dirty, "dirty bit lost on failed eviction");
+        assert_eq!(cache.line_debug(9).0, STATE_INVALID as u8);
+        // Once the device heals, both the eviction and the data survive.
+        backing
+            .broken
+            .store(false, std::sync::atomic::Ordering::Release);
+        let g = cache.acquire(9).unwrap();
+        drop(g);
+        let mut media = [0u8; 512];
+        backing.inner.fetch_line(3, 4096).unwrap();
+        gpu.read_bytes(4096, &mut media);
+        assert!(media.iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_dirty_bit() {
+        let (gpu, backing, cache) = flaky_rig(8);
+        {
+            let g = cache.acquire(5).unwrap();
+            gpu.write_bytes(g.addr(), &[0xCCu8; 512]);
+            g.mark_dirty();
+        }
+        backing
+            .broken
+            .store(true, std::sync::atomic::Ordering::Release);
+        assert_eq!(cache.flush().unwrap_err(), BamError::Crashed);
+        assert!(cache.line_debug(5).2, "dirty bit lost on failed flush");
+        backing
+            .broken
+            .store(false, std::sync::atomic::Ordering::Release);
+        assert_eq!(cache.flush().unwrap(), 1);
+        let mut media = [0u8; 512];
+        backing.inner.fetch_line(5, 4096).unwrap();
+        gpu.read_bytes(4096, &mut media);
+        assert!(media.iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn journalled_writebacks_emit_intent_then_commit() {
+        use crate::journal::{decode_records, JournalRecord};
+        let data = Arc::new(ByteRegion::new(64 * 512));
+        let gpu = Arc::new(ByteRegion::new(1 << 20));
+        let backing = Arc::new(MemoryBacking::new(data, 0, gpu.clone(), 512, 64));
+        let journal = Arc::new(CacheJournal::new());
+        let metrics = Arc::new(BamMetrics::new());
+        let cache = BamCache::new(backing, metrics.clone(), 0, 8).with_journal(journal.clone());
+
+        let g = cache.acquire(2).unwrap();
+        cache.journal_write(2, 0, &[0x11; 512]).unwrap();
+        gpu.write_bytes(g.addr(), &[0x11; 512]);
+        g.mark_dirty();
+        drop(g);
+        cache.flush().unwrap();
+
+        let decoded = decode_records(&journal.snapshot()).unwrap();
+        assert!(matches!(
+            decoded.records.as_slice(),
+            [
+                JournalRecord::Write { line: 2, .. },
+                JournalRecord::WritebackIntent {
+                    line: 2,
+                    covered_lsn: 1,
+                    ..
+                },
+                JournalRecord::WritebackCommit {
+                    line: 2,
+                    intent_lsn: 2,
+                    ..
+                },
+            ]
+        ));
+        let s = metrics.snapshot();
+        assert_eq!(s.journal_appends, 3);
+        assert_eq!(s.journal_bytes, journal.appended_bytes());
+    }
+
+    #[test]
+    fn reset_after_crash_cools_the_directory() {
+        let (_d, _g, cache) = rig(4);
+        for line in 0..4u64 {
+            drop(cache.acquire(line).unwrap());
+        }
+        cache.reset_after_crash();
+        for line in 0..64 {
+            let (state, refs, dirty) = cache.line_debug(line);
+            assert_eq!(state, STATE_INVALID as u8);
+            assert_eq!(refs, 0);
+            assert!(!dirty);
+        }
+        // The cache serves traffic again from cold.
+        assert!(cache.acquire(3).is_ok());
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub struct BamConfig {
     /// GPU memory capacity to back in the simulation, in bytes. Must hold the
     /// cache, queues, and I/O buffers.
     pub gpu_memory_bytes: u64,
+    /// Whether the cache keeps a write-ahead metadata journal, making
+    /// acknowledged writes crash-recoverable (see `crate::journal`).
+    pub use_journal: bool,
+    /// Extra attempts for a cache-miss fetch failing with a transient
+    /// storage error (0 disables retry).
+    pub fetch_retries: u32,
+    /// Base backoff in microseconds before a fetch retry; doubles per
+    /// attempt.
+    pub fetch_retry_base_us: u64,
 }
 
 impl Default for BamConfig {
@@ -55,6 +64,9 @@ impl Default for BamConfig {
             warp_coalescing: true,
             use_cache: true,
             gpu_memory_bytes: 16 << 30,
+            use_journal: true,
+            fetch_retries: 3,
+            fetch_retry_base_us: 20,
         }
     }
 }
@@ -76,6 +88,9 @@ impl BamConfig {
             warp_coalescing: true,
             use_cache: true,
             gpu_memory_bytes: 8 << 20,
+            use_journal: true,
+            fetch_retries: 3,
+            fetch_retry_base_us: 1,
         }
     }
 

@@ -1,0 +1,143 @@
+//! Crash-point injection: kill the stack at any durable step.
+//!
+//! Durability reasoning is only testable if a test can stop the world at
+//! *every* point where volatile state and durable state may diverge. A
+//! [`CrashPoint`] counts the stack's durable steps — every journal append and
+//! every media write-back consumes exactly one step — and trips at an armed
+//! step index. Tripping means the durable action *did not take effect*
+//! (except journal appends, which may persist a configurable torn byte
+//! prefix, modelling a write torn mid-sector), and every later durable
+//! operation fails with [`crate::BamError::Crashed`] until [`CrashPoint::reset`]
+//! models the reboot.
+//!
+//! This is the Memento-style discipline (SNIPPETS §1): enumerate the durable
+//! steps, crash at each one, and prove recovery replays to a consistent
+//! state. A dry run with a disarmed crash point counts the steps
+//! ([`CrashPoint::steps_taken`]); sweeps then arm each index in turn.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Step index meaning "never trip".
+const DISARMED: u64 = u64::MAX;
+
+/// What a durable operation should do at this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Not the armed step: perform the durable action normally.
+    Run,
+    /// The armed step: the crash strikes *before* the action takes effect.
+    /// Journal appends persist at most `torn_bytes` of the record (always a
+    /// strict prefix); media write-backs persist nothing.
+    Crash {
+        /// Bytes of the in-flight journal record that reached the journal.
+        torn_bytes: u64,
+    },
+    /// A previous step already crashed: the stack is down, nothing persists.
+    Down,
+}
+
+/// A shared crash trigger, threaded through the journal and the backing
+/// store (see [`crate::backing::CrashBacking`]).
+#[derive(Debug, Default)]
+pub struct CrashPoint {
+    /// Next durable step index to hand out.
+    next_step: AtomicU64,
+    /// Step index at which to trip ([`DISARMED`] = never).
+    crash_at: AtomicU64,
+    /// Torn prefix length applied if the tripped step is a journal append.
+    torn_bytes: AtomicU64,
+    /// Latched once tripped; cleared only by [`CrashPoint::reset`].
+    crashed: AtomicBool,
+}
+
+impl CrashPoint {
+    /// A disarmed crash point: counts steps, never trips.
+    pub fn new() -> Self {
+        Self {
+            next_step: AtomicU64::new(0),
+            crash_at: AtomicU64::new(DISARMED),
+            torn_bytes: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms the crash to trip at durable step `at_step` (0-based), tearing
+    /// journal appends to at most `torn_bytes` bytes.
+    pub fn arm(&self, at_step: u64, torn_bytes: u64) {
+        self.torn_bytes.store(torn_bytes, Ordering::Relaxed);
+        self.crash_at.store(at_step, Ordering::Relaxed);
+    }
+
+    /// Consumes one durable step and reports whether it may proceed.
+    pub fn consume_step(&self) -> StepOutcome {
+        if self.crashed.load(Ordering::Acquire) {
+            return StepOutcome::Down;
+        }
+        let step = self.next_step.fetch_add(1, Ordering::AcqRel);
+        if step == self.crash_at.load(Ordering::Relaxed) {
+            self.crashed.store(true, Ordering::Release);
+            StepOutcome::Crash {
+                torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
+            }
+        } else {
+            StepOutcome::Run
+        }
+    }
+
+    /// Durable steps consumed so far (dry runs use this to size sweeps).
+    pub fn steps_taken(&self) -> u64 {
+        self.next_step.load(Ordering::Acquire)
+    }
+
+    /// Whether the crash has tripped.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Models the reboot: clears the tripped state, disarms, and restarts the
+    /// step counter so recovery and post-recovery traffic run normally.
+    pub fn reset(&self) {
+        self.crash_at.store(DISARMED, Ordering::Relaxed);
+        self.torn_bytes.store(0, Ordering::Relaxed);
+        self.next_step.store(0, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_counts_but_never_trips() {
+        let cp = CrashPoint::new();
+        for _ in 0..100 {
+            assert_eq!(cp.consume_step(), StepOutcome::Run);
+        }
+        assert_eq!(cp.steps_taken(), 100);
+        assert!(!cp.is_crashed());
+    }
+
+    #[test]
+    fn armed_step_trips_once_then_stays_down() {
+        let cp = CrashPoint::new();
+        cp.arm(2, 7);
+        assert_eq!(cp.consume_step(), StepOutcome::Run);
+        assert_eq!(cp.consume_step(), StepOutcome::Run);
+        assert_eq!(cp.consume_step(), StepOutcome::Crash { torn_bytes: 7 });
+        assert!(cp.is_crashed());
+        assert_eq!(cp.consume_step(), StepOutcome::Down);
+        assert_eq!(cp.consume_step(), StepOutcome::Down);
+    }
+
+    #[test]
+    fn reset_models_the_reboot() {
+        let cp = CrashPoint::new();
+        cp.arm(0, 0);
+        assert_eq!(cp.consume_step(), StepOutcome::Crash { torn_bytes: 0 });
+        cp.reset();
+        assert!(!cp.is_crashed());
+        assert_eq!(cp.consume_step(), StepOutcome::Run);
+        assert_eq!(cp.steps_taken(), 1);
+    }
+}

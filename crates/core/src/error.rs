@@ -39,6 +39,17 @@ pub enum BamError {
         /// The array length.
         len: u64,
     },
+    /// The cache journal could not be decoded or replayed: a fully-present
+    /// record failed its checksum, framing, or sequencing checks. (A *torn*
+    /// final record is not corruption — see `crate::journal::decode_records`.)
+    JournalCorrupt {
+        /// LSN the journal was expected to contain at the failure point.
+        lsn: u64,
+    },
+    /// An injected crash point tripped: the stack is down and every durable
+    /// operation fails until the crash point is reset (the reboot) and the
+    /// journal is replayed.
+    Crashed,
 }
 
 impl std::fmt::Display for BamError {
@@ -59,6 +70,12 @@ impl std::fmt::Display for BamError {
             }
             BamError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            BamError::JournalCorrupt { lsn } => {
+                write!(f, "cache journal corrupt at lsn {lsn}")
+            }
+            BamError::Crashed => {
+                write!(f, "injected crash point tripped: the stack is down until recovery")
             }
         }
     }
@@ -101,6 +118,9 @@ mod tests {
         let e2 = BamError::CacheThrashing;
         assert!(e2.source().is_none());
         assert!(e2.to_string().contains("pinned"));
+        let e3 = BamError::JournalCorrupt { lsn: 42 };
+        assert!(e3.to_string().contains("lsn 42"));
+        assert!(BamError::Crashed.to_string().contains("crash point"));
     }
 
     #[test]

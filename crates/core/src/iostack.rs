@@ -33,6 +33,12 @@ pub struct IoStack {
     /// Fast-path flag mirroring `sim_hook.is_some()`: with no hook installed
     /// (the default) the submission path pays one relaxed load, no lock.
     sim_hook_installed: AtomicBool,
+    /// Extra attempts for a cache-miss fetch that fails with a transient
+    /// storage error (0 = fail fast).
+    fetch_retries: u32,
+    /// Backoff before retry `n` (1-based) is `fetch_retry_base_us << (n-1)`
+    /// microseconds.
+    fetch_retry_base_us: u64,
 }
 
 impl std::fmt::Debug for IoStack {
@@ -85,7 +91,21 @@ impl IoStack {
             metrics,
             sim_hook: RwLock::new(None),
             sim_hook_installed: AtomicBool::new(false),
+            fetch_retries: 0,
+            fetch_retry_base_us: 0,
         }
+    }
+
+    /// Enables bounded retry with exponential backoff for cache-miss fetches
+    /// that fail with a transient [`BamError::Storage`] error: up to
+    /// `retries` extra attempts, sleeping `base_us << (attempt - 1)`
+    /// microseconds before each. Under replication the round-robin device
+    /// selector naturally steers each attempt at the next replica. Every
+    /// retry is counted in [`crate::MetricsSnapshot::storage_retries`].
+    pub fn with_fetch_retry(mut self, retries: u32, base_us: u64) -> Self {
+        self.fetch_retries = retries;
+        self.fetch_retry_base_us = base_us;
+        self
     }
 
     /// Installs `hook` on this stack *and* on every device controller of the
@@ -212,7 +232,22 @@ impl CacheBacking for IoStack {
     }
 
     fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
-        self.read_line(line, dst)
+        let mut attempt = 0u32;
+        loop {
+            match self.read_line(line, dst) {
+                // Only transient device failures are worth retrying; config
+                // and bounds errors are deterministic.
+                Err(BamError::Storage(_)) if attempt < self.fetch_retries => {
+                    attempt += 1;
+                    self.metrics.record_retry();
+                    if self.fetch_retry_base_us > 0 {
+                        let backoff = self.fetch_retry_base_us << (attempt - 1);
+                        std::thread::sleep(std::time::Duration::from_micros(backoff));
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
     fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
@@ -326,6 +361,41 @@ mod tests {
         assert_eq!(stack.total_submissions(), 10);
         assert!(stack.total_doorbell_writes() <= 10);
         assert!(stack.total_doorbell_writes() >= 1);
+    }
+
+    #[test]
+    fn transient_fetch_failures_are_retried_with_backoff() {
+        use std::sync::atomic::AtomicU32;
+
+        let (region, alloc, array, stack) = build(1, DataLayout::Replicated);
+        let stack = stack.with_fetch_retry(3, 1);
+        array.preload(4 * 1024, &[0x77u8; 1024]).unwrap();
+        // Fail the first two commands, then heal.
+        let strikes = Arc::new(AtomicU32::new(2));
+        let strikes_in_injector = strikes.clone();
+        array
+            .device(0)
+            .controller()
+            .set_fault_injector(Some(Arc::new(move |_cmd: &NvmeCommand| {
+                (strikes_in_injector
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| s.checked_sub(1))
+                    .is_ok())
+                .then_some(bam_nvme_sim::NvmeStatus::InternalError)
+            })));
+        let dst = alloc.alloc(1024, 512).unwrap();
+        stack.fetch_line(4, dst).unwrap();
+        let mut out = vec![0u8; 1024];
+        region.read_bytes(dst, &mut out);
+        assert!(out.iter().all(|&b| b == 0x77));
+        assert_eq!(stack.metrics.snapshot().storage_retries, 2);
+
+        // With the budget exhausted the typed error still surfaces.
+        strikes.store(10, Ordering::Release);
+        assert!(matches!(
+            stack.fetch_line(4, dst),
+            Err(BamError::Storage(_))
+        ));
+        assert_eq!(stack.metrics.snapshot().storage_retries, 2 + 3);
     }
 
     // Keep `SsdDevice` import used even though tests go through `SsdArray`.

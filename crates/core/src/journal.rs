@@ -1,0 +1,757 @@
+//! The cache's write-ahead metadata journal and its recovery replay.
+//!
+//! The BaM cache is write-back: acknowledged writes live in volatile GPU
+//! memory until eviction or flush writes the line to media. A crash in that
+//! window would silently lose acknowledged data, so every durable transition
+//! is journalled *before* it is acknowledged or applied:
+//!
+//! * [`JournalRecord::Write`] — a redo record carrying the written payload,
+//!   appended before the write is acknowledged to the application. The
+//!   payload must be journalled (not just the intent) because the only other
+//!   copy is in volatile GPU memory.
+//! * [`JournalRecord::WritebackIntent`] — appended before a dirty line is
+//!   written to media, recording the newest write LSN the line image covers.
+//! * [`JournalRecord::WritebackCommit`] — appended after the media write
+//!   succeeded, sealing the intent.
+//!
+//! ## Record format
+//!
+//! Every record is length-prefixed with an *authenticated header*: a 40-byte
+//! header whose final 8 bytes checksum the first 32, followed by the payload
+//! and a whole-record checksum (FNV-1a 64). Authenticating the header makes
+//! the length field trustworthy, which cleanly separates the two failure
+//! modes decoding must distinguish:
+//!
+//! * **torn tail** — the journal ends mid-record (a crash tore the last
+//!   append). Decoding succeeds and reports `torn_tail = true`; the complete
+//!   prefix is the journal's contents.
+//! * **corruption** — a fully-present record fails its magic, header
+//!   checksum, record checksum, or LSN sequencing. Decoding fails with
+//!   [`BamError::JournalCorrupt`] naming the expected LSN.
+//!
+//! ```text
+//!  0      4     5    6        8      16     24     32          40
+//!  +------+-----+----+--------+------+------+------+-----------+---------+--------+
+//!  | magic|kind |pad |plen u16| lsn  | line | aux  | hdr cksum | payload | cksum  |
+//!  +------+-----+----+--------+------+------+------+-----------+---------+--------+
+//! ```
+//!
+//! LSNs are assigned densely from 1; `aux` holds the write offset, the
+//! intent's covered write LSN, or the commit's intent LSN.
+//!
+//! ## Recovery
+//!
+//! [`recover`] replays a journal against the surviving backing store. For
+//! each line it computes the newest write LSN proven durable by a committed
+//! write-back (the intent's `covered_lsn`), then redoes every newer write
+//! record — fetch the line, apply the payloads in LSN order, write the line
+//! back. Redo is idempotent, so an *uncommitted* intent whose media write did
+//! land is simply overwritten with the same bytes; a *committed* line with no
+//! newer writes is skipped entirely, which is exactly the "no completed
+//! write-back is double-applied" invariant the crash sweeps assert.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use bam_mem::{ByteRegion, DevAddr};
+
+use crate::backing::CacheBacking;
+use crate::crash::{CrashPoint, StepOutcome};
+use crate::error::BamError;
+
+/// Record-framing magic ("JRNL" little-endian).
+const RECORD_MAGIC: u32 = 0x4C4E_524A;
+
+/// Fixed header length (magic, kind, pad, payload length, LSN, line, aux,
+/// header checksum).
+pub const HEADER_BYTES: usize = 40;
+
+/// Bytes a record occupies beyond its payload (header + record checksum).
+pub const RECORD_OVERHEAD_BYTES: usize = HEADER_BYTES + 8;
+
+const KIND_WRITE: u8 = 1;
+const KIND_INTENT: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// FNV-1a 64-bit over `bytes` (no external dependency needed, and one byte
+/// flip anywhere always changes the digest).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A redo record for an acknowledged application write.
+    Write {
+        /// Sequence number.
+        lsn: u64,
+        /// Backing-store line written.
+        line: u64,
+        /// Byte offset of the write within the line.
+        offset: u64,
+        /// The written bytes.
+        payload: Vec<u8>,
+    },
+    /// A dirty-line write-back is about to hit the media.
+    WritebackIntent {
+        /// Sequence number.
+        lsn: u64,
+        /// Line being written back.
+        line: u64,
+        /// Newest write-record LSN the line image covers (0 = none).
+        covered_lsn: u64,
+    },
+    /// The write-back of `intent_lsn` reached the media.
+    WritebackCommit {
+        /// Sequence number.
+        lsn: u64,
+        /// Line that was written back.
+        line: u64,
+        /// LSN of the sealed [`JournalRecord::WritebackIntent`].
+        intent_lsn: u64,
+    },
+}
+
+impl JournalRecord {
+    /// The record's sequence number.
+    pub fn lsn(&self) -> u64 {
+        match self {
+            JournalRecord::Write { lsn, .. }
+            | JournalRecord::WritebackIntent { lsn, .. }
+            | JournalRecord::WritebackCommit { lsn, .. } => *lsn,
+        }
+    }
+}
+
+fn encode_record(kind: u8, lsn: u64, line: u64, aux: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= u16::MAX as usize);
+    let mut rec = Vec::with_capacity(RECORD_OVERHEAD_BYTES + payload.len());
+    rec.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    rec.push(kind);
+    rec.push(0); // pad
+    rec.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    rec.extend_from_slice(&lsn.to_le_bytes());
+    rec.extend_from_slice(&line.to_le_bytes());
+    rec.extend_from_slice(&aux.to_le_bytes());
+    let hdr_cksum = fnv1a64(&rec[..32]);
+    rec.extend_from_slice(&hdr_cksum.to_le_bytes());
+    rec.extend_from_slice(payload);
+    let cksum = fnv1a64(&rec);
+    rec.extend_from_slice(&cksum.to_le_bytes());
+    rec
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
+/// A decoded journal: the complete record prefix plus whether the byte
+/// stream ended mid-record (a torn final append).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedJournal {
+    /// Every fully-decoded record, in LSN order (dense from 1).
+    pub records: Vec<JournalRecord>,
+    /// Whether trailing bytes formed only part of a record.
+    pub torn_tail: bool,
+}
+
+/// Decodes a journal byte stream.
+///
+/// A truncated final record is **not** an error — crashes tear appends — and
+/// is reported via [`DecodedJournal::torn_tail`].
+///
+/// # Errors
+///
+/// Returns [`BamError::JournalCorrupt`] naming the expected LSN when a
+/// fully-present record fails validation (bad magic, kind, header checksum,
+/// record checksum, or out-of-sequence LSN).
+pub fn decode_records(bytes: &[u8]) -> Result<DecodedJournal, BamError> {
+    let mut records = Vec::new();
+    let mut cursor = 0usize;
+    let mut expected_lsn = 1u64;
+    while cursor < bytes.len() {
+        let corrupt = Err(BamError::JournalCorrupt { lsn: expected_lsn });
+        let rest = &bytes[cursor..];
+        if rest.len() < HEADER_BYTES {
+            return Ok(DecodedJournal {
+                records,
+                torn_tail: true,
+            });
+        }
+        let header = &rest[..HEADER_BYTES];
+        if le_u64(&header[32..40]) != fnv1a64(&header[..32]) {
+            return corrupt;
+        }
+        // The header is authenticated from here on: its length field is
+        // trustworthy, so "not enough bytes" can only mean a torn tail.
+        if u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) != RECORD_MAGIC {
+            return corrupt;
+        }
+        let kind = header[4];
+        let payload_len = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")) as usize;
+        let total = RECORD_OVERHEAD_BYTES + payload_len;
+        if rest.len() < total {
+            return Ok(DecodedJournal {
+                records,
+                torn_tail: true,
+            });
+        }
+        if le_u64(&rest[total - 8..total]) != fnv1a64(&rest[..total - 8]) {
+            return corrupt;
+        }
+        let lsn = le_u64(&header[8..16]);
+        let line = le_u64(&header[16..24]);
+        let aux = le_u64(&header[24..32]);
+        if lsn != expected_lsn {
+            return corrupt;
+        }
+        let record = match kind {
+            KIND_WRITE => JournalRecord::Write {
+                lsn,
+                line,
+                offset: aux,
+                payload: rest[HEADER_BYTES..HEADER_BYTES + payload_len].to_vec(),
+            },
+            KIND_INTENT if payload_len == 0 => JournalRecord::WritebackIntent {
+                lsn,
+                line,
+                covered_lsn: aux,
+            },
+            KIND_COMMIT if payload_len == 0 => JournalRecord::WritebackCommit {
+                lsn,
+                line,
+                intent_lsn: aux,
+            },
+            _ => return corrupt,
+        };
+        records.push(record);
+        expected_lsn += 1;
+        cursor += total;
+    }
+    Ok(DecodedJournal {
+        records,
+        torn_tail: false,
+    })
+}
+
+/// The result of one [`CacheJournal`] append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalAppend {
+    /// LSN the record was assigned.
+    pub lsn: u64,
+    /// Encoded bytes the record occupies in the journal.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct JournalInner {
+    buf: Vec<u8>,
+    next_lsn: u64,
+    /// Newest write-record LSN per line (for intent `covered_lsn`s).
+    latest_write_lsn: HashMap<u64, u64>,
+    /// Application payload bytes acknowledged through the journal.
+    payload_bytes: u64,
+}
+
+/// The write-ahead metadata journal of one [`crate::BamCache`].
+///
+/// Appends are sequenced under one mutex (the journal is a single durable
+/// stream); each append consumes one [`CrashPoint`] durable step when a
+/// crash point is installed. The in-memory byte buffer stands in for the
+/// durable journal device; [`CacheJournal::snapshot`] is "what survived the
+/// crash".
+#[derive(Debug, Default)]
+pub struct CacheJournal {
+    inner: Mutex<JournalInner>,
+    crash: Option<Arc<CrashPoint>>,
+}
+
+impl CacheJournal {
+    /// An empty journal with no crash injection.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(JournalInner {
+                next_lsn: 1,
+                ..JournalInner::default()
+            }),
+            crash: None,
+        }
+    }
+
+    /// An empty journal whose appends consume durable steps on `crash`.
+    pub fn with_crash_point(crash: Arc<CrashPoint>) -> Self {
+        Self {
+            crash: Some(crash),
+            ..Self::new()
+        }
+    }
+
+    fn append(
+        &self,
+        kind: u8,
+        line: u64,
+        aux: u64,
+        payload: &[u8],
+    ) -> Result<JournalAppend, BamError> {
+        assert!(
+            payload.len() <= u16::MAX as usize,
+            "journal payload exceeds the u16 length field"
+        );
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        let rec = encode_record(kind, lsn, line, aux, payload);
+        if let Some(cp) = &self.crash {
+            match cp.consume_step() {
+                StepOutcome::Run => {}
+                StepOutcome::Crash { torn_bytes } => {
+                    // The torn prefix is always strictly shorter than the
+                    // record: a crashed append never becomes durable.
+                    let keep = (torn_bytes as usize).min(rec.len() - 1);
+                    let prefix = rec[..keep].to_vec();
+                    inner.buf.extend_from_slice(&prefix);
+                    return Err(BamError::Crashed);
+                }
+                StepOutcome::Down => return Err(BamError::Crashed),
+            }
+        }
+        inner.buf.extend_from_slice(&rec);
+        inner.next_lsn += 1;
+        if kind == KIND_WRITE {
+            inner.latest_write_lsn.insert(line, lsn);
+            inner.payload_bytes += payload.len() as u64;
+        }
+        Ok(JournalAppend {
+            lsn,
+            bytes: rec.len() as u64,
+        })
+    }
+
+    /// Journals an application write of `payload` at `offset` within `line`.
+    /// Must complete before the write is acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::Crashed`] if the crash point tripped (the record
+    /// is torn; the write was never acknowledged).
+    pub fn append_write(
+        &self,
+        line: u64,
+        offset: u64,
+        payload: &[u8],
+    ) -> Result<JournalAppend, BamError> {
+        self.append(KIND_WRITE, line, offset, payload)
+    }
+
+    /// Journals the intent to write `line` back to media, covering every
+    /// write journalled for it so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::Crashed`] if the crash point tripped.
+    pub fn append_writeback_intent(&self, line: u64) -> Result<JournalAppend, BamError> {
+        let covered = {
+            let inner = self.inner.lock();
+            inner.latest_write_lsn.get(&line).copied().unwrap_or(0)
+        };
+        self.append(KIND_INTENT, line, covered, &[])
+    }
+
+    /// Seals intent `intent_lsn`: the media write of `line` succeeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::Crashed`] if the crash point tripped.
+    pub fn append_writeback_commit(
+        &self,
+        line: u64,
+        intent_lsn: u64,
+    ) -> Result<JournalAppend, BamError> {
+        self.append(KIND_COMMIT, line, intent_lsn, &[])
+    }
+
+    /// The durable journal image (what a crash would leave behind).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.inner.lock().buf.clone()
+    }
+
+    /// Drops a torn final record left by a crashed append, returning the
+    /// bytes discarded. Recovery calls this so post-reboot appends continue a
+    /// well-formed stream instead of landing after partial bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::JournalCorrupt`] if the journal body (not just its
+    /// tail) fails to decode.
+    pub fn truncate_torn_tail(&self) -> Result<u64, BamError> {
+        let mut inner = self.inner.lock();
+        let decoded = decode_records(&inner.buf)?;
+        let complete: usize = decoded
+            .records
+            .iter()
+            .map(|r| {
+                RECORD_OVERHEAD_BYTES
+                    + match r {
+                        JournalRecord::Write { payload, .. } => payload.len(),
+                        _ => 0,
+                    }
+            })
+            .sum();
+        let dropped = inner.buf.len() - complete;
+        inner.buf.truncate(complete);
+        Ok(dropped as u64)
+    }
+
+    /// Encoded journal bytes appended so far.
+    pub fn appended_bytes(&self) -> u64 {
+        self.inner.lock().buf.len() as u64
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().next_lsn - 1
+    }
+
+    /// Whether no record has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Journal bytes per acknowledged application payload byte — the write
+    /// amplification the `recovery` bench reports. 1.0 with an empty journal,
+    /// infinite when only metadata records were written.
+    pub fn write_amplification(&self) -> f64 {
+        let inner = self.inner.lock();
+        if inner.payload_bytes == 0 {
+            if inner.buf.is_empty() {
+                return 1.0;
+            }
+            return f64::INFINITY;
+        }
+        inner.buf.len() as f64 / inner.payload_bytes as f64
+    }
+}
+
+/// What [`recover`] did, in full; byte-identical across identical replays,
+/// which the determinism sweeps assert directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Complete records decoded from the journal.
+    pub records_scanned: u64,
+    /// Whether the journal ended in a torn (incomplete) record.
+    pub torn_tail: bool,
+    /// Write (redo) records seen.
+    pub write_records: u64,
+    /// Write-back intents seen.
+    pub intent_records: u64,
+    /// Committed write-backs seen (these lines' covered writes are durable).
+    pub committed_writebacks: u64,
+    /// Write records replayed onto the backing store.
+    pub replayed_writes: u64,
+    /// Distinct lines fetched, patched, and written back.
+    pub replayed_lines: u64,
+    /// Journal length in bytes (including any torn tail).
+    pub journal_bytes: u64,
+}
+
+/// Replays `journal` against `backing`, restoring every acknowledged write.
+///
+/// `scratch` must point at `backing.line_bytes()` bytes of scratch space in
+/// `gpu`; lines are replayed one at a time through it, in ascending line
+/// order (the replay is deterministic). Lines whose newest write is covered
+/// by a committed write-back are not touched at all.
+///
+/// # Errors
+///
+/// Returns [`BamError::JournalCorrupt`] for an undecodable or semantically
+/// inconsistent journal (a commit without its intent, an out-of-range
+/// write), or any backing-store error encountered mid-replay.
+pub fn recover(
+    journal: &[u8],
+    backing: &dyn CacheBacking,
+    gpu: &ByteRegion,
+    scratch: DevAddr,
+) -> Result<RecoveryReport, BamError> {
+    let decoded = decode_records(journal)?;
+    let line_bytes = backing.line_bytes();
+
+    let mut report = RecoveryReport {
+        records_scanned: decoded.records.len() as u64,
+        torn_tail: decoded.torn_tail,
+        journal_bytes: journal.len() as u64,
+        ..RecoveryReport::default()
+    };
+
+    // Pass 1: group redo records per line and find, per line, the newest
+    // write LSN a committed write-back proves durable.
+    type LineWrites<'a> = Vec<(u64, u64, &'a [u8])>; // (lsn, offset, payload)
+    let mut writes_by_line: BTreeMap<u64, LineWrites> = BTreeMap::new();
+    let mut intents: HashMap<u64, (u64, u64)> = HashMap::new(); // lsn -> (line, covered)
+    let mut durable_lsn: BTreeMap<u64, u64> = BTreeMap::new();
+    for record in &decoded.records {
+        match record {
+            JournalRecord::Write {
+                lsn,
+                line,
+                offset,
+                payload,
+            } => {
+                report.write_records += 1;
+                let end = offset.checked_add(payload.len() as u64);
+                if *line >= backing.num_lines() || end.is_none_or(|e| e > line_bytes) {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                }
+                writes_by_line
+                    .entry(*line)
+                    .or_default()
+                    .push((*lsn, *offset, payload.as_slice()));
+            }
+            JournalRecord::WritebackIntent {
+                lsn,
+                line,
+                covered_lsn,
+            } => {
+                report.intent_records += 1;
+                intents.insert(*lsn, (*line, *covered_lsn));
+            }
+            JournalRecord::WritebackCommit {
+                lsn,
+                line,
+                intent_lsn,
+            } => {
+                report.committed_writebacks += 1;
+                let Some(&(intent_line, covered)) = intents.get(intent_lsn) else {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                };
+                if intent_line != *line {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                }
+                let entry = durable_lsn.entry(*line).or_insert(0);
+                *entry = (*entry).max(covered);
+            }
+        }
+    }
+
+    // Pass 2: redo every write newer than the line's durable horizon, one
+    // line at a time, ascending.
+    for (line, writes) in &writes_by_line {
+        let durable = durable_lsn.get(line).copied().unwrap_or(0);
+        let pending: Vec<_> = writes.iter().filter(|(lsn, _, _)| *lsn > durable).collect();
+        if pending.is_empty() {
+            continue;
+        }
+        backing.fetch_line(*line, scratch)?;
+        for (_, offset, payload) in &pending {
+            gpu.write_bytes(scratch + offset, payload);
+        }
+        backing.writeback_line(*line, scratch)?;
+        report.replayed_writes += pending.len() as u64;
+        report.replayed_lines += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemoryBacking;
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let j = CacheJournal::new();
+        let a = j.append_write(3, 16, &[0xAB; 32]).unwrap();
+        assert_eq!(a.lsn, 1);
+        assert_eq!(a.bytes as usize, RECORD_OVERHEAD_BYTES + 32);
+        let i = j.append_writeback_intent(3).unwrap();
+        assert_eq!(i.lsn, 2);
+        let c = j.append_writeback_commit(3, i.lsn).unwrap();
+        assert_eq!(c.lsn, 3);
+        let decoded = decode_records(&j.snapshot()).unwrap();
+        assert!(!decoded.torn_tail);
+        assert_eq!(
+            decoded.records,
+            vec![
+                JournalRecord::Write {
+                    lsn: 1,
+                    line: 3,
+                    offset: 16,
+                    payload: vec![0xAB; 32]
+                },
+                JournalRecord::WritebackIntent {
+                    lsn: 2,
+                    line: 3,
+                    covered_lsn: 1
+                },
+                JournalRecord::WritebackCommit {
+                    lsn: 3,
+                    line: 3,
+                    intent_lsn: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn intent_covers_the_newest_write() {
+        let j = CacheJournal::new();
+        j.append_write(7, 0, &[1]).unwrap();
+        j.append_write(7, 1, &[2]).unwrap();
+        j.append_write(9, 0, &[3]).unwrap();
+        let i = j.append_writeback_intent(7).unwrap();
+        let decoded = decode_records(&j.snapshot()).unwrap();
+        match &decoded.records[i.lsn as usize - 1] {
+            JournalRecord::WritebackIntent { covered_lsn, .. } => assert_eq!(*covered_lsn, 2),
+            other => panic!("expected intent, got {other:?}"),
+        }
+        // A line never written has a zero horizon.
+        let i2 = j.append_writeback_intent(100).unwrap();
+        let decoded = decode_records(&j.snapshot()).unwrap();
+        match &decoded.records[i2.lsn as usize - 1] {
+            JournalRecord::WritebackIntent { covered_lsn, .. } => assert_eq!(*covered_lsn, 0),
+            other => panic!("expected intent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_torn_not_corrupt() {
+        let j = CacheJournal::new();
+        j.append_write(0, 0, &[9; 10]).unwrap();
+        j.append_write(1, 0, &[8; 10]).unwrap();
+        let bytes = j.snapshot();
+        for cut in 0..bytes.len() {
+            let d = decode_records(&bytes[..cut]).unwrap();
+            let whole = cut / (RECORD_OVERHEAD_BYTES + 10);
+            assert_eq!(d.records.len(), whole, "cut at {cut}");
+            assert_eq!(d.torn_tail, cut % (RECORD_OVERHEAD_BYTES + 10) != 0);
+        }
+    }
+
+    #[test]
+    fn bit_flips_report_typed_corruption() {
+        let j = CacheJournal::new();
+        j.append_write(0, 0, &[7; 24]).unwrap();
+        j.append_writeback_intent(0).unwrap();
+        let bytes = j.snapshot();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            match decode_records(&bad) {
+                Err(BamError::JournalCorrupt { lsn }) => {
+                    assert!((1..=2).contains(&lsn), "flip at {pos} blamed lsn {lsn}")
+                }
+                other => panic!("flip at {pos}: expected corruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_point_tears_the_append() {
+        let cp = Arc::new(CrashPoint::new());
+        let j = CacheJournal::with_crash_point(cp.clone());
+        j.append_write(0, 0, &[1; 16]).unwrap();
+        cp.arm(1, 20); // second append tears at 20 bytes
+        assert_eq!(j.append_write(1, 0, &[2; 16]), Err(BamError::Crashed));
+        // Once down, nothing else persists.
+        assert_eq!(j.append_writeback_intent(0), Err(BamError::Crashed));
+        let d = decode_records(&j.snapshot()).unwrap();
+        assert_eq!(d.records.len(), 1);
+        assert!(d.torn_tail);
+    }
+
+    fn recovery_rig() -> (Arc<ByteRegion>, Arc<ByteRegion>, Arc<MemoryBacking>) {
+        let data = Arc::new(ByteRegion::new(16 * 64));
+        for line in 0..16u64 {
+            data.write_bytes(line * 64, &[line as u8; 64]);
+        }
+        let gpu = Arc::new(ByteRegion::new(4096));
+        let backing = Arc::new(MemoryBacking::new(data.clone(), 0, gpu.clone(), 64, 16));
+        (data, gpu, backing)
+    }
+
+    #[test]
+    fn recover_replays_uncommitted_writes() {
+        let (data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(2, 4, &[0xEE; 8]).unwrap();
+        j.append_write(5, 0, &[0xDD; 64]).unwrap();
+        let report = recover(&j.snapshot(), backing.as_ref(), &gpu, 1024).unwrap();
+        assert_eq!(report.replayed_writes, 2);
+        assert_eq!(report.replayed_lines, 2);
+        let mut buf = [0u8; 64];
+        data.read_bytes(2 * 64 + 4, &mut buf[..8]);
+        assert_eq!(&buf[..8], &[0xEE; 8]);
+        data.read_bytes(5 * 64, &mut buf);
+        assert_eq!(buf, [0xDD; 64]);
+    }
+
+    #[test]
+    fn committed_lines_are_not_double_applied() {
+        let (_data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(4, 0, &[1; 64]).unwrap();
+        let i = j.append_writeback_intent(4).unwrap();
+        j.append_writeback_commit(4, i.lsn).unwrap();
+        let report = recover(&j.snapshot(), backing.as_ref(), &gpu, 1024).unwrap();
+        assert_eq!(report.replayed_lines, 0);
+        assert_eq!(report.replayed_writes, 0);
+        assert_eq!(report.committed_writebacks, 1);
+    }
+
+    #[test]
+    fn writes_after_a_commit_are_still_replayed() {
+        let (data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(4, 0, &[1; 64]).unwrap();
+        let i = j.append_writeback_intent(4).unwrap();
+        j.append_writeback_commit(4, i.lsn).unwrap();
+        j.append_write(4, 8, &[2; 4]).unwrap(); // newer than the commit
+        let report = recover(&j.snapshot(), backing.as_ref(), &gpu, 1024).unwrap();
+        assert_eq!(report.replayed_lines, 1);
+        assert_eq!(report.replayed_writes, 1);
+        let mut buf = [0u8; 4];
+        data.read_bytes(4 * 64 + 8, &mut buf);
+        assert_eq!(buf, [2; 4]);
+    }
+
+    #[test]
+    fn commit_without_intent_is_corrupt() {
+        let (_data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(0, 0, &[1; 8]).unwrap();
+        j.append_writeback_commit(0, 99).unwrap();
+        assert_eq!(
+            recover(&j.snapshot(), backing.as_ref(), &gpu, 1024),
+            Err(BamError::JournalCorrupt { lsn: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_write_record_is_corrupt() {
+        let (_data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(999, 0, &[1; 8]).unwrap();
+        assert_eq!(
+            recover(&j.snapshot(), backing.as_ref(), &gpu, 1024),
+            Err(BamError::JournalCorrupt { lsn: 1 })
+        );
+    }
+
+    #[test]
+    fn write_amplification_is_journal_bytes_over_payload() {
+        let j = CacheJournal::new();
+        assert_eq!(j.write_amplification(), 1.0);
+        j.append_write(0, 0, &[0; 48]).unwrap();
+        let expected = (RECORD_OVERHEAD_BYTES as f64 + 48.0) / 48.0;
+        assert!((j.write_amplification() - expected).abs() < 1e-12);
+        assert!(!j.is_empty());
+        assert_eq!(j.len(), 1);
+    }
+}

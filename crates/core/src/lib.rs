@@ -43,18 +43,24 @@ pub mod array;
 pub mod backing;
 pub mod cache;
 pub mod config;
+pub mod crash;
 pub mod error;
 pub mod iostack;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod system;
 
 pub use array::BamArray;
-pub use backing::{CacheBacking, MemoryBacking};
+pub use backing::{CacheBacking, CrashBacking, MemoryBacking};
 pub use cache::{BamCache, LineGuard};
 pub use config::BamConfig;
+pub use crash::{CrashPoint, StepOutcome};
 pub use error::BamError;
 pub use iostack::IoStack;
+pub use journal::{
+    decode_records, recover, CacheJournal, DecodedJournal, JournalRecord, RecoveryReport,
+};
 pub use metrics::{BamMetrics, MetricsSnapshot};
 pub use queue::BamQueuePair;
 pub use system::BamSystem;

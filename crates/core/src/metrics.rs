@@ -26,6 +26,10 @@ pub struct BamMetrics {
     bytes_written: AtomicU64,
     // Application-level accounting (for I/O amplification).
     bytes_requested: AtomicU64,
+    // Robustness.
+    storage_retries: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`BamMetrics`].
@@ -55,6 +59,12 @@ pub struct MetricsSnapshot {
     pub bytes_written: u64,
     /// Bytes the application actually asked for (element granularity).
     pub bytes_requested: u64,
+    /// Transient storage failures retried on the cache-miss fetch path.
+    pub storage_retries: u64,
+    /// Records appended to the cache's write-ahead journal.
+    pub journal_appends: u64,
+    /// Bytes appended to the cache's write-ahead journal.
+    pub journal_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -104,12 +114,15 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "storage: {} reads / {} writes, {} B read, {} B written, \
-             I/O amplification {:.2}x",
+             I/O amplification {:.2}x, {} retries, {} journal records ({} B)",
             self.read_requests,
             self.write_requests,
             self.bytes_read,
             self.bytes_written,
-            self.io_amplification()
+            self.io_amplification(),
+            self.storage_retries,
+            self.journal_appends,
+            self.journal_bytes
         )
     }
 }
@@ -163,6 +176,15 @@ impl BamMetrics {
         self.bytes_requested.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_retry(&self) {
+        self.storage_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_journal_append(&self, bytes: u64) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Copies the current counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -178,6 +200,9 @@ impl BamMetrics {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_requested: self.bytes_requested.load(Ordering::Relaxed),
+            storage_retries: self.storage_retries.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -197,6 +222,9 @@ impl BamMetrics {
             &self.bytes_read,
             &self.bytes_written,
             &self.bytes_requested,
+            &self.storage_retries,
+            &self.journal_appends,
+            &self.journal_bytes,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -247,7 +275,23 @@ mod tests {
         let m = BamMetrics::new();
         m.record_miss();
         m.record_write_request(512);
+        m.record_retry();
+        m.record_journal_append(48);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn retry_and_journal_counters_accumulate() {
+        let m = BamMetrics::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_journal_append(48);
+        m.record_journal_append(112);
+        let s = m.snapshot();
+        assert_eq!(s.storage_retries, 2);
+        assert_eq!(s.journal_appends, 2);
+        assert_eq!(s.journal_bytes, 160);
+        assert!(s.to_string().contains("2 retries"), "{s}");
     }
 }

@@ -15,14 +15,16 @@ use parking_lot::Mutex;
 
 use bam_gpu_sim::{GpuMemory, GpuSpec};
 use bam_mem::{DevAddr, Pod};
-use bam_nvme_sim::{DataLayout, SsdArray, StatsSnapshot};
+use bam_nvme_sim::{DataLayout, FaultInjector, SsdArray, StatsSnapshot};
 
 use crate::array::BamArray;
-use crate::backing::CacheBacking;
+use crate::backing::{CacheBacking, CrashBacking};
 use crate::cache::BamCache;
 use crate::config::BamConfig;
+use crate::crash::CrashPoint;
 use crate::error::BamError;
 use crate::iostack::IoStack;
+use crate::journal::{self, CacheJournal, RecoveryReport};
 use crate::metrics::{BamMetrics, MetricsSnapshot};
 use crate::queue::BamQueuePair;
 
@@ -39,6 +41,10 @@ pub(crate) struct SystemInner {
     pub(crate) metrics: Arc<BamMetrics>,
     pub(crate) line_bytes: u64,
     pub(crate) coalescing: bool,
+    /// The cache's write-ahead journal (when `config.use_journal`).
+    journal: Option<Arc<CacheJournal>>,
+    /// The injected crash point (when built via `with_crash_point`).
+    crash: Option<Arc<CrashPoint>>,
     scratch: Vec<Mutex<DevAddr>>,
     scratch_rr: AtomicU64,
     dataset_cursor: AtomicU64,
@@ -123,6 +129,10 @@ impl SystemInner {
         let region = self.gpu.region();
         if let Some(cache) = &self.cache {
             let guard = cache.acquire(line)?;
+            // Write-ahead: the journal append is the acknowledgement point.
+            // If it crashes, the write was never acknowledged and the cached
+            // line is untouched.
+            cache.journal_write(line, offset, bytes)?;
             region.write_bytes(guard.addr() + offset, bytes);
             guard.mark_dirty();
             Ok(())
@@ -181,6 +191,23 @@ impl BamSystem {
     /// [`BamError::OutOfDeviceMemory`] if the cache/queues/buffers do not fit
     /// in the configured GPU memory.
     pub fn new(config: BamConfig) -> Result<Self, BamError> {
+        Self::build(config, None)
+    }
+
+    /// Builds a system whose durable steps (journal appends and media
+    /// write-backs) are subject to `crash`: arm it to kill the stack at any
+    /// step, then call [`BamSystem::recover_from_journal`] to model the
+    /// reboot-and-replay. With the crash point disarmed the system behaves
+    /// exactly like [`BamSystem::new`] while counting durable steps.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BamSystem::new`].
+    pub fn with_crash_point(config: BamConfig, crash: Arc<CrashPoint>) -> Result<Self, BamError> {
+        Self::build(config, Some(crash))
+    }
+
+    fn build(config: BamConfig, crash: Option<Arc<CrashPoint>>) -> Result<Self, BamError> {
         config.validate()?;
         let gpu = GpuMemory::new(GpuSpec::a100_80gb(), config.gpu_memory_bytes as usize);
         let mut ssd_array = SsdArray::new(
@@ -215,24 +242,38 @@ impl BamSystem {
             DataLayout::Striped { .. } => config.ssd_capacity_bytes * config.num_ssds as u64,
         };
         let num_lines = logical_capacity / config.cache_line_bytes;
-        let iostack = Arc::new(IoStack::new(
-            ssd_array.clone(),
-            queues,
-            config.cache_line_bytes,
-            num_lines,
-            metrics.clone(),
-        ));
+        let iostack = Arc::new(
+            IoStack::new(
+                ssd_array.clone(),
+                queues,
+                config.cache_line_bytes,
+                num_lines,
+                metrics.clone(),
+            )
+            .with_fetch_retry(config.fetch_retries, config.fetch_retry_base_us),
+        );
 
+        let journal = config.use_journal.then(|| {
+            Arc::new(match &crash {
+                Some(cp) => CacheJournal::with_crash_point(cp.clone()),
+                None => CacheJournal::new(),
+            })
+        });
         let cache = if config.use_cache {
             let slots = config.cache_slots();
             let slots_base = gpu.alloc(slots * config.cache_line_bytes, config.cache_line_bytes)?;
-            let backing: Arc<dyn CacheBacking> = iostack.clone();
-            Some(Arc::new(BamCache::new(
-                backing,
-                metrics.clone(),
-                slots_base,
-                slots,
-            )))
+            // With a crash point, the cache sees a backing store whose
+            // write-backs can be killed mid-flight; recovery bypasses the
+            // wrapper and replays against the I/O stack directly.
+            let backing: Arc<dyn CacheBacking> = match &crash {
+                Some(cp) => Arc::new(CrashBacking::new(iostack.clone(), cp.clone())),
+                None => iostack.clone(),
+            };
+            let mut cache = BamCache::new(backing, metrics.clone(), slots_base, slots);
+            if let Some(journal) = &journal {
+                cache = cache.with_journal(journal.clone());
+            }
+            Some(Arc::new(cache))
         } else {
             None
         };
@@ -256,6 +297,8 @@ impl BamSystem {
                 metrics,
                 line_bytes,
                 coalescing,
+                journal,
+                crash,
                 scratch,
                 scratch_rr: AtomicU64::new(0),
                 dataset_cursor: AtomicU64::new(0),
@@ -355,6 +398,64 @@ impl BamSystem {
             None => Ok(0),
         }
     }
+
+    /// The cache's write-ahead journal, when `config.use_journal` is set
+    /// (its [`crate::journal::CacheJournal::snapshot`] is what survives a
+    /// crash and feeds [`BamSystem::recover_from_journal`]).
+    pub fn journal(&self) -> Option<&Arc<CacheJournal>> {
+        self.inner.journal.as_ref()
+    }
+
+    /// The injected crash point, when built via
+    /// [`BamSystem::with_crash_point`].
+    pub fn crash_point(&self) -> Option<&Arc<CrashPoint>> {
+        self.inner.crash.as_ref()
+    }
+
+    /// Installs (or, with `None`, removes) a fault injector on SSD `device`,
+    /// letting tests poison specific devices through the public stack instead
+    /// of rebuilding a private one. The injector sees every NVMe command the
+    /// controller fetches and may force an error status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= config.num_ssds`.
+    pub fn set_fault_injector(&self, device: usize, injector: Option<Arc<FaultInjector>>) {
+        self.inner
+            .array
+            .device(device)
+            .controller()
+            .set_fault_injector(injector);
+    }
+
+    /// Models the reboot-and-replay after a crash: resets the crash point
+    /// (if any), replays `journal_bytes` against the storage array so every
+    /// acknowledged write is durable and no committed write-back is applied
+    /// twice, rebuilds the cache directory cold, and truncates any torn tail
+    /// from the live journal so the system can keep running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BamError::JournalCorrupt`] for an undecodable journal, or a
+    /// storage error encountered during the replay.
+    pub fn recover_from_journal(&self, journal_bytes: &[u8]) -> Result<RecoveryReport, BamError> {
+        if let Some(cp) = &self.inner.crash {
+            cp.reset();
+        }
+        // Replay against the raw I/O stack: the crash wrapper models devices
+        // lost with the crashed host, and the reboot is behind us.
+        let region = self.inner.gpu.region();
+        let (_slot_guard, scratch) = self.inner.lock_scratch();
+        let report =
+            journal::recover(journal_bytes, self.inner.iostack.as_ref(), &region, scratch)?;
+        if let Some(cache) = &self.inner.cache {
+            cache.reset_after_crash();
+        }
+        if let Some(journal) = &self.inner.journal {
+            journal.truncate_torn_tail()?;
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +521,72 @@ mod tests {
         // u8/u16/u32/u64/f32/f64 all divide 512; everything supported works.
         assert!(sys.create_array::<u8>(8).is_ok());
         assert!(sys.create_array::<f64>(8).is_ok());
+    }
+
+    #[test]
+    fn journalled_system_survives_a_crash_mid_flush() {
+        let cp = Arc::new(CrashPoint::new());
+        let sys = BamSystem::with_crash_point(BamConfig::test_scale(), cp.clone()).unwrap();
+        let arr = sys.create_array::<u64>(512).unwrap();
+        arr.preload(&vec![0u64; 512]).unwrap();
+        arr.write(3, 77).unwrap();
+        arr.write(200, 88).unwrap();
+        let m = sys.metrics();
+        assert!(m.journal_appends >= 2, "writes must be journalled");
+
+        // Dry-count the steps a flush takes, then rerun with the crash armed
+        // at the media write (journal intent lands, media write does not).
+        let steps_before = cp.steps_taken();
+        cp.arm(steps_before + 1, 8); // step 0: intent append, step 1: media write
+        assert_eq!(sys.flush().unwrap_err(), BamError::Crashed);
+
+        // Reboot + replay: both acknowledged writes must reach the media.
+        let journal = sys.journal().unwrap().snapshot();
+        let report = sys.recover_from_journal(&journal).unwrap();
+        assert_eq!(report.replayed_lines, 2);
+        assert_eq!(arr.read(3).unwrap(), 77);
+        assert_eq!(arr.read(200).unwrap(), 88);
+        // And the system keeps serving writes afterwards.
+        arr.write(5, 99).unwrap();
+        sys.flush().unwrap();
+        assert_eq!(arr.read(5).unwrap(), 99);
+    }
+
+    #[test]
+    fn committed_flush_is_not_replayed() {
+        let cp = Arc::new(CrashPoint::new());
+        let sys = BamSystem::with_crash_point(BamConfig::test_scale(), cp).unwrap();
+        let arr = sys.create_array::<u64>(64).unwrap();
+        arr.preload(&vec![0u64; 64]).unwrap();
+        arr.write(3, 42).unwrap();
+        sys.flush().unwrap();
+        let journal = sys.journal().unwrap().snapshot();
+        let report = sys.recover_from_journal(&journal).unwrap();
+        assert_eq!(
+            report.replayed_lines, 0,
+            "a committed write-back must not be double-applied"
+        );
+        assert_eq!(arr.read(3).unwrap(), 42);
+    }
+
+    #[test]
+    fn fault_injector_reaches_devices_through_the_public_stack() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        for d in 0..sys.config().num_ssds {
+            sys.set_fault_injector(
+                d,
+                Some(Arc::new(|_cmd: &bam_nvme_sim::NvmeCommand| {
+                    Some(bam_nvme_sim::NvmeStatus::InternalError)
+                })),
+            );
+        }
+        let arr = sys.create_array::<u64>(4096).unwrap();
+        assert!(matches!(arr.read(0), Err(BamError::Storage(_))));
+        for d in 0..sys.config().num_ssds {
+            sys.set_fault_injector(d, None);
+        }
+        arr.preload(&(0..4096u64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(arr.read(17).unwrap(), 17);
     }
 
     #[test]

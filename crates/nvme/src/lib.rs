@@ -46,7 +46,7 @@ pub mod stats;
 pub use array::{DataLayout, SsdArray};
 pub use block::BlockStore;
 pub use command::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus};
-pub use controller::NvmeController;
+pub use controller::{FaultInjector, NvmeController};
 pub use device::SsdDevice;
 pub use doorbell::Doorbell;
 pub use error::NvmeError;

@@ -112,6 +112,7 @@ impl SimConfig {
                 gpu_link_ns_per_byte: 0.0,
                 completion_ns: 0,
                 access_bytes: 512,
+                journal_flush_ns: 0,
             },
         }
     }
@@ -228,6 +229,11 @@ struct CoreOutcome {
     depth: DepthTimeline,
     occupancy_mean: f64,
     occupancy_max: u64,
+    /// Completed-read latencies, in completion order.
+    read_latencies: Vec<u64>,
+    /// Completed-write latencies, in completion order. Includes the
+    /// journal-flush stage when enabled — latency is measured from arrival.
+    write_latencies: Vec<u64>,
 }
 
 /// The shared event loop: drives `requests` (routed by `qp_of`, attributed by
@@ -262,6 +268,8 @@ fn run_core(
         |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
 
     let mut arrive_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
+    let mut read_latencies: Vec<u64> = Vec::new();
+    let mut write_latencies: Vec<u64> = Vec::new();
     let mut completed: u64 = 0;
     let mut depth_timeline = DepthTimeline::default();
     let mut depth: u32 = 0;
@@ -282,6 +290,23 @@ fn run_core(
                 t.first_arrival.get_or_insert(now);
                 depth += 1;
                 depth_timeline.record(now, depth);
+                // A write's journal record must be durable before the
+                // request may ring its doorbell; when journalling is off
+                // (`journal_flush_ns == 0`) no extra event exists and the
+                // schedule is identical to the unjournalled engine.
+                if requests[req as usize].write && p.journal_flush_ns > 0 {
+                    events.schedule(now + p.journal_flush_ns, Event::JournalFlushed { req });
+                } else {
+                    let qp = qp_of[req as usize] as usize;
+                    if queue_pairs[qp].admit(req) {
+                        events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
+                        events
+                            .schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
+                    }
+                    meters[qp].update(now, queue_pairs[qp].occupancy());
+                }
+            }
+            Event::JournalFlushed { req } => {
                 let qp = qp_of[req as usize] as usize;
                 if queue_pairs[qp].admit(req) {
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
@@ -356,7 +381,13 @@ fn run_core(
             }
             Event::Complete { req } => {
                 let t = &mut tenants[tenant_of[req as usize] as usize];
-                t.latencies.push(now - arrive_at[req as usize]);
+                let latency = now - arrive_at[req as usize];
+                t.latencies.push(latency);
+                if requests[req as usize].write {
+                    write_latencies.push(latency);
+                } else {
+                    read_latencies.push(latency);
+                }
                 t.last_completion = now;
                 completed += 1;
                 depth -= 1;
@@ -387,6 +418,8 @@ fn run_core(
         depth: depth_timeline,
         occupancy_mean,
         occupancy_max,
+        read_latencies,
+        write_latencies,
     }
 }
 
@@ -455,6 +488,8 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
     let [rt] = tenants;
     SimReport::build(
         rt.latencies,
+        outcome.read_latencies,
+        outcome.write_latencies,
         outcome.depth,
         outcome.end,
         outcome.occupancy_mean,
@@ -584,6 +619,8 @@ pub fn run_tenants(
     MultiTenantReport {
         overall: SimReport::build(
             all_latencies,
+            outcome.read_latencies,
+            outcome.write_latencies,
             outcome.depth,
             outcome.end,
             outcome.occupancy_mean,
@@ -868,6 +905,50 @@ mod tests {
         let cfg = optane_config(1, 8, 512, 26);
         let tenants = [steady(0, 1.0e5, 10), steady(0, 1.0e5, 10)];
         run_tenants(&cfg, &tenants, QueuePairPolicy::Shared);
+    }
+
+    #[test]
+    fn journal_flush_charges_writes_and_leaves_reads_alone() {
+        // Pure-delay pipeline so the shift is exact: every write pays the
+        // journal-flush bound on top of its service time, reads never do.
+        let base = SimConfig::worked_example(10.0, 9);
+        let journalled = SimConfig {
+            pipeline: PipelineParams {
+                journal_flush_ns: 5_000,
+                ..base.pipeline.clone()
+            },
+            ..base.clone()
+        };
+        let reqs = mixed_requests(&base, 1_000, 250);
+        let plain = run(&base, Workload::OpenLoop { rate_per_s: 1.0e6 }, &reqs);
+        let durable = run(&journalled, Workload::OpenLoop { rate_per_s: 1.0e6 }, &reqs);
+        assert_eq!(plain.read_latency.count, 750);
+        assert_eq!(plain.write_latency.count, 250);
+        assert_eq!(durable.read_latency, plain.read_latency);
+        assert!(
+            (durable.write_latency.mean_us - plain.write_latency.mean_us - 5.0).abs() < 1e-9,
+            "write mean shifted by {} us",
+            durable.write_latency.mean_us - plain.write_latency.mean_us
+        );
+    }
+
+    #[test]
+    fn zero_journal_flush_is_bit_identical_to_the_unjournalled_engine() {
+        // `journal_flush_ns: 0` must add no events: the report — including
+        // the event-order-sensitive depth timeline — is exactly what the
+        // engine produced before the stage existed.
+        let cfg = optane_config(2, 16, 4096, 11);
+        let zeroed = SimConfig {
+            pipeline: PipelineParams {
+                journal_flush_ns: 0,
+                ..cfg.pipeline.clone()
+            },
+            ..cfg.clone()
+        };
+        let reqs = mixed_requests(&cfg, 8_000, 2_000);
+        let a = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        let b = run(&zeroed, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -15,6 +15,10 @@ use crate::clock::SimTime;
 pub(crate) enum Event {
     /// A request enters the system (open-loop arrival or closed-loop refill).
     Arrive { req: u32 },
+    /// The write's journal record is durable; it may now enter its queue
+    /// pair. Only scheduled when the pipeline's `journal_flush_ns` is
+    /// non-zero (reads never journal).
+    JournalFlushed { req: u32 },
     /// The request won its queue pair and rang the doorbell; it now travels
     /// to the controller.
     QpForwarded { req: u32 },

@@ -130,6 +130,11 @@ pub struct PipelineParams {
     pub completion_ns: u64,
     /// Access size the link occupancies were derived for.
     pub access_bytes: u64,
+    /// Write-ahead journal persist time charged to every *write* before it
+    /// enters the queue pair (0 = journalling off). This is a vNV-Heap-style
+    /// *bound*: a fixed worst-case persist latency, not a sampled
+    /// distribution, so the durability cost in a sim run is deterministic.
+    pub journal_flush_ns: u64,
 }
 
 /// Lognormal shape parameter per media technology: Optane's latency is
@@ -195,7 +200,21 @@ impl PipelineParams {
             gpu_link_ns_per_byte,
             completion_ns,
             access_bytes,
+            journal_flush_ns: 0,
         }
+    }
+
+    /// Charges every write a journal-persist stage before its queue pair: one
+    /// redo record (header/checksum overhead of `record_overhead_bytes` plus
+    /// the `access_bytes` payload) pushed over both links to the durable
+    /// journal device, plus the controller-fetch round trip. The bound is
+    /// fixed per configuration (vNV-Heap's worst-case persist discipline), so
+    /// enabling the journal shifts write latency deterministically.
+    pub fn with_journal_flush(mut self, record_overhead_bytes: u64) -> Self {
+        let record_bytes = (record_overhead_bytes + self.access_bytes) as f64;
+        let link_ns = record_bytes * (self.ssd_link_ns_per_byte + self.gpu_link_ns_per_byte);
+        self.journal_flush_ns = self.ctrl_fetch_ns + link_ns.round() as u64;
+        self
     }
 
     /// Replaces both media distributions with their fixed means (for
@@ -312,6 +331,18 @@ mod tests {
     #[should_panic(expected = "at least one queue pair per tenant")]
     fn fair_shares_rejects_too_few_queue_pairs() {
         fair_shares(2, &[1, 1, 1]);
+    }
+
+    #[test]
+    fn journal_flush_defaults_off_and_scales_with_record_size() {
+        let spec = SsdSpec::intel_optane_p5800x();
+        let p =
+            PipelineParams::from_specs(&spec, &LinkSpec::gen4_x4(), &LinkSpec::gen4_x16(), 4096);
+        assert_eq!(p.journal_flush_ns, 0, "journalling must be opt-in");
+        let small = p.clone().with_journal_flush(48);
+        let large = p.with_journal_flush(4096);
+        assert!(small.journal_flush_ns > small.ctrl_fetch_ns);
+        assert!(large.journal_flush_ns > small.journal_flush_ns);
     }
 
     #[test]

@@ -141,6 +141,11 @@ pub struct SimReport {
     pub queue_occupancy_mean: f64,
     /// Peak occupancy of any single queue pair.
     pub queue_occupancy_max: u64,
+    /// Latency summary over the run's reads alone.
+    pub read_latency: LatencySummary,
+    /// Latency summary over the run's writes alone (includes the
+    /// journal-flush stage when enabled — the durability cost lands here).
+    pub write_latency: LatencySummary,
     /// Ascending per-request latencies in nanoseconds (for CDFs).
     pub sorted_latencies_ns: Vec<u64>,
 }
@@ -148,12 +153,16 @@ pub struct SimReport {
 impl SimReport {
     pub(crate) fn build(
         mut latencies_ns: Vec<u64>,
+        mut read_latencies_ns: Vec<u64>,
+        mut write_latencies_ns: Vec<u64>,
         mut depth: DepthTimeline,
         end: SimTime,
         queue_occupancy_mean: f64,
         queue_occupancy_max: u64,
     ) -> Self {
         latencies_ns.sort_unstable();
+        read_latencies_ns.sort_unstable();
+        write_latencies_ns.sort_unstable();
         depth.close(end);
         let sim_time_s = end.as_secs_f64();
         let completed = latencies_ns.len() as u64;
@@ -169,6 +178,8 @@ impl SimReport {
             depth,
             queue_occupancy_mean,
             queue_occupancy_max,
+            read_latency: LatencySummary::from_sorted_ns(&read_latencies_ns),
+            write_latency: LatencySummary::from_sorted_ns(&write_latencies_ns),
             sorted_latencies_ns: latencies_ns,
         }
     }
@@ -302,10 +313,20 @@ mod tests {
     fn report_build_computes_throughput_and_littles() {
         let mut depth = DepthTimeline::default();
         depth.record(SimTime::from_ns(0), 1);
-        let r = SimReport::build(vec![10_000; 100], depth, SimTime::from_us(1000.0), 1.0, 2);
+        let r = SimReport::build(
+            vec![10_000; 100],
+            vec![10_000; 80],
+            vec![10_000; 20],
+            depth,
+            SimTime::from_us(1000.0),
+            1.0,
+            2,
+        );
         assert_eq!(r.completed, 100);
         assert!((r.throughput_per_s - 100.0 / 1e-3).abs() < 1e-6);
         // 100k/s × 10us = 1 request in flight.
         assert!((r.littles_in_flight() - 1.0).abs() < 1e-9);
+        assert_eq!(r.read_latency.count, 80);
+        assert_eq!(r.write_latency.count, 20);
     }
 }

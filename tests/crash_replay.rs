@@ -1,0 +1,220 @@
+//! Crash-replay sweeps: kill the stack at randomly and exhaustively chosen
+//! durable steps, replay the journal, and assert the three recovery
+//! invariants — no acknowledged write is lost, no committed write-back is
+//! double-applied, and the replay is bit-identical when run twice.
+//!
+//! The discipline follows Memento (see SNIPPETS §1): a dry run with a
+//! disarmed [`CrashPoint`] counts the durable steps a workload takes, then
+//! the sweeps arm each (or a sampled) step index in turn and drive the same
+//! workload into the crash.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bam::core::{decode_records, JournalRecord};
+use bam::core::{BamArray, BamConfig, BamError, BamSystem, CrashPoint};
+
+/// 16 cache lines of 64 u64 elements under the 512-byte test-scale line.
+const ELEMS: u64 = 16 * 64;
+
+/// One workload step: an application write or a full cache flush.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { idx: u64, value: u64 },
+    Flush,
+}
+
+/// Decodes the sampled op stream: `flush_after` turns a write into a
+/// write-then-flush pair, so flushes land at arbitrary plan positions.
+fn plan_from(ops: &[(u64, u64, bool)]) -> Vec<Op> {
+    let mut plan = Vec::with_capacity(ops.len() * 2);
+    for &(idx_sel, value, flush_after) in ops {
+        plan.push(Op::Write {
+            idx: idx_sel % ELEMS,
+            value,
+        });
+        if flush_after {
+            plan.push(Op::Flush);
+        }
+    }
+    plan
+}
+
+/// A crash-injectable system over a zero-preloaded array.
+fn rig(cp: &Arc<CrashPoint>) -> (BamSystem, BamArray<u64>) {
+    let sys = BamSystem::with_crash_point(BamConfig::test_scale(), cp.clone()).unwrap();
+    let arr = sys.create_array::<u64>(ELEMS).unwrap();
+    arr.preload(&vec![0u64; ELEMS as usize]).unwrap();
+    (sys, arr)
+}
+
+/// Drives `plan` into the (possibly crashing) stack. Returns the
+/// acknowledged state: index → last value whose write returned `Ok`. Once
+/// the crash point trips, every further durable operation must fail with
+/// [`BamError::Crashed`] — anything else is a bug.
+fn apply_plan(sys: &BamSystem, arr: &BamArray<u64>, plan: &[Op]) -> HashMap<u64, u64> {
+    let mut acked = HashMap::new();
+    for op in plan {
+        match *op {
+            Op::Write { idx, value } => match arr.write(idx, value) {
+                Ok(()) => {
+                    acked.insert(idx, value);
+                }
+                Err(BamError::Crashed) => {}
+                Err(other) => panic!("unexpected write error {other:?}"),
+            },
+            Op::Flush => match sys.flush() {
+                Ok(_) => {}
+                Err(BamError::Crashed) => {}
+                Err(other) => panic!("unexpected flush error {other:?}"),
+            },
+        }
+    }
+    acked
+}
+
+/// An independent oracle for the no-double-apply invariant: from the journal
+/// alone, the lines recovery must touch are exactly those with a write
+/// record newer than the newest committed write-back horizon.
+fn lines_recovery_must_touch(journal: &[u8]) -> u64 {
+    let decoded = decode_records(journal).unwrap();
+    let mut writes: HashMap<u64, Vec<u64>> = HashMap::new(); // line -> write lsns
+    let mut intents: HashMap<u64, (u64, u64)> = HashMap::new(); // lsn -> (line, covered)
+    let mut durable: HashMap<u64, u64> = HashMap::new(); // line -> horizon
+    for rec in &decoded.records {
+        match rec {
+            JournalRecord::Write { lsn, line, .. } => writes.entry(*line).or_default().push(*lsn),
+            JournalRecord::WritebackIntent {
+                lsn,
+                line,
+                covered_lsn,
+            } => {
+                intents.insert(*lsn, (*line, *covered_lsn));
+            }
+            JournalRecord::WritebackCommit { intent_lsn, .. } => {
+                let (line, covered) = intents[intent_lsn];
+                let horizon = durable.entry(line).or_insert(0);
+                *horizon = (*horizon).max(covered);
+            }
+        }
+    }
+    writes
+        .iter()
+        .filter(|(line, lsns)| {
+            let horizon = durable.get(line).copied().unwrap_or(0);
+            lsns.iter().any(|&lsn| lsn > horizon)
+        })
+        .count() as u64
+}
+
+/// Runs `plan` into a crash armed at durable step `crash_step` (tearing the
+/// journal append, if that is what the step is, to `torn_bytes`), recovers,
+/// and asserts every invariant. Panics (via assert) on any violation.
+fn crash_recover_check(plan: &[Op], crash_step: u64, torn_bytes: u64) {
+    let cp = Arc::new(CrashPoint::new());
+    let (sys, arr) = rig(&cp);
+    cp.arm(crash_step, torn_bytes);
+    let acked = apply_plan(&sys, &arr, plan);
+
+    // The journal image that survived the crash drives the reboot.
+    let journal = sys.journal().unwrap().snapshot();
+    let report = sys.recover_from_journal(&journal).unwrap();
+
+    // (b) No completed write-back is double-applied: recovery touched
+    // exactly the lines the journal proves have redo work.
+    assert_eq!(
+        report.replayed_lines,
+        lines_recovery_must_touch(&journal),
+        "step {crash_step}: replayed lines disagree with the journal oracle"
+    );
+
+    // (a) No acknowledged write is lost, and nothing else changed: the whole
+    // array must equal preload-zeros overwritten by the acknowledged writes.
+    for idx in 0..ELEMS {
+        let expected = acked.get(&idx).copied().unwrap_or(0);
+        assert_eq!(
+            arr.read(idx).unwrap(),
+            expected,
+            "step {crash_step}: element {idx} diverged after recovery"
+        );
+    }
+
+    // (c) Deterministic replay: recovering the same journal again produces a
+    // bit-identical report and leaves the media untouched (idempotent redo).
+    let report2 = sys.recover_from_journal(&journal).unwrap();
+    assert_eq!(
+        report, report2,
+        "step {crash_step}: replay is not deterministic"
+    );
+    for idx in 0..ELEMS {
+        let expected = acked.get(&idx).copied().unwrap_or(0);
+        assert_eq!(arr.read(idx).unwrap(), expected);
+    }
+
+    // The stack is live again: a fresh write-flush-read cycle works.
+    arr.write(0, 0xDEAD_BEEF).unwrap();
+    sys.flush().unwrap();
+    assert_eq!(arr.read(0).unwrap(), 0xDEAD_BEEF);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// The headline sweep: 128 random workloads, each killed at a random
+    /// durable step with a random torn-append length, must all recover to
+    /// the acknowledged state.
+    #[test]
+    fn random_crash_points_always_recover(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 1..40),
+        crash_sel in any::<u64>(),
+        torn_sel in 0u64..96,
+    ) {
+        let plan = plan_from(&ops);
+        // Dry run with the crash point disarmed: count the durable steps the
+        // plan takes, so the armed run samples a *reachable* step (arming at
+        // exactly `total` never trips — the no-crash case stays in the sweep).
+        let cp = Arc::new(CrashPoint::new());
+        let (sys, arr) = rig(&cp);
+        let full = apply_plan(&sys, &arr, &plan);
+        prop_assert_eq!(full.len(), plan.iter().filter_map(|op| match op {
+            Op::Write { idx, .. } => Some(*idx),
+            Op::Flush => None,
+        }).collect::<std::collections::HashSet<_>>().len());
+        let total = cp.steps_taken();
+        prop_assert!(total > 0, "a plan with writes must take durable steps");
+
+        crash_recover_check(&plan, crash_sel % (total + 1), torn_sel);
+    }
+}
+
+/// The exhaustive companion: one fixed eviction-and-flush-heavy plan, killed
+/// at *every* durable step it takes, recovers at each of them.
+#[test]
+fn every_durable_step_of_a_fixed_plan_recovers() {
+    let mut plan = Vec::new();
+    for i in 0..24u64 {
+        plan.push(Op::Write {
+            idx: (i * 67) % ELEMS,
+            value: i + 1,
+        });
+        if i % 7 == 3 {
+            plan.push(Op::Flush);
+        }
+    }
+
+    let cp = Arc::new(CrashPoint::new());
+    let (sys, arr) = rig(&cp);
+    apply_plan(&sys, &arr, &plan);
+    let total = cp.steps_taken();
+    assert!(
+        total >= 24,
+        "plan too small to be interesting: {total} steps"
+    );
+
+    for step in 0..=total {
+        // Vary the tear across the sweep; 56 exceeds a metadata record's
+        // length, so both header-torn and payload-torn tails occur.
+        crash_recover_check(&plan, step, (step * 13) % 56);
+    }
+}

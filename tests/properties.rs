@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 use bam::core::BamQueuePair;
+use bam::core::{decode_records, recover, BamError, CacheJournal, JournalRecord, MemoryBacking};
 use bam::core::{BamConfig, BamSystem};
 use bam::gpu::warp::{ballot, groups, match_any, WARP_SIZE};
 use bam::gpu::{GpuExecutor, GpuSpec};
@@ -66,6 +67,165 @@ proptest! {
         prop_assert_eq!(degree_sum, edges.len() as u64);
         for (u, v) in &edges {
             prop_assert!(g.neighbors(*u).contains(v), "edge ({u},{v}) lost");
+        }
+    }
+}
+
+/// Line geometry of the journal-property rig: 16 lines of 64 bytes.
+const JLINES: u64 = 16;
+const JLINE_BYTES: u64 = 64;
+
+/// Replays a sampled op stream into a fresh journal, returning the journal
+/// plus the records it must decode to. Kind 0 is a write (offset and length
+/// derived from `seed` so `offset + len <= JLINE_BYTES`), kind 1 an intent,
+/// kind 2 a commit of the line's newest uncommitted intent (downgraded to an
+/// intent when none is open, so untampered journals always recover cleanly).
+fn journal_from_ops(ops: &[(u64, u64, u64)]) -> (CacheJournal, Vec<JournalRecord>) {
+    let journal = CacheJournal::new();
+    let mut expected = Vec::new();
+    let mut latest_write: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut open_intents: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for &(line_sel, seed, kind) in ops {
+        let line = line_sel % JLINES;
+        match kind {
+            0 => {
+                let offset = seed % (JLINE_BYTES / 2);
+                let len = 1 + (seed >> 8) % (JLINE_BYTES / 2);
+                let payload = vec![(seed >> 16) as u8; len as usize];
+                let a = journal.append_write(line, offset, &payload).unwrap();
+                latest_write.insert(line, a.lsn);
+                expected.push(JournalRecord::Write {
+                    lsn: a.lsn,
+                    line,
+                    offset,
+                    payload,
+                });
+            }
+            _ if kind == 2 && open_intents.contains_key(&line) => {
+                let intent_lsn = open_intents.remove(&line).unwrap();
+                let a = journal.append_writeback_commit(line, intent_lsn).unwrap();
+                expected.push(JournalRecord::WritebackCommit {
+                    lsn: a.lsn,
+                    line,
+                    intent_lsn,
+                });
+            }
+            _ => {
+                let a = journal.append_writeback_intent(line).unwrap();
+                open_intents.insert(line, a.lsn);
+                expected.push(JournalRecord::WritebackIntent {
+                    lsn: a.lsn,
+                    line,
+                    covered_lsn: latest_write.get(&line).copied().unwrap_or(0),
+                });
+            }
+        }
+    }
+    (journal, expected)
+}
+
+/// An in-memory backing store matching the journal-property rig's geometry.
+fn journal_backing() -> (Arc<ByteRegion>, Arc<MemoryBacking>) {
+    let data = Arc::new(ByteRegion::new((JLINES * JLINE_BYTES) as usize));
+    let gpu = Arc::new(ByteRegion::new(4096));
+    let backing = Arc::new(MemoryBacking::new(
+        data,
+        0,
+        gpu.clone(),
+        JLINE_BYTES,
+        JLINES,
+    ));
+    (gpu, backing)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Journal encoding round-trips arbitrary append sequences with dense
+    /// LSNs and no torn tail.
+    #[test]
+    fn journal_encoding_roundtrips(ops in prop::collection::vec((any::<u64>(), any::<u64>(), 0u64..3), 1..40)) {
+        let (journal, expected) = journal_from_ops(&ops);
+        let decoded = decode_records(&journal.snapshot()).unwrap();
+        prop_assert!(!decoded.torn_tail);
+        prop_assert_eq!(&decoded.records, &expected);
+        for (i, rec) in decoded.records.iter().enumerate() {
+            prop_assert_eq!(rec.lsn(), i as u64 + 1, "LSNs must be dense from 1");
+        }
+    }
+
+    /// Cutting the journal anywhere yields the complete-record prefix and a
+    /// torn-tail flag — truncation is a crash artifact, never "corruption".
+    #[test]
+    fn journal_truncation_is_torn_not_corrupt(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), 0u64..3), 1..24),
+        cut_sel in any::<u64>(),
+    ) {
+        let (journal, expected) = journal_from_ops(&ops);
+        let bytes = journal.snapshot();
+        let cut = (cut_sel % (bytes.len() as u64 + 1)) as usize;
+        let decoded = decode_records(&bytes[..cut]).unwrap();
+        prop_assert!(decoded.records.len() <= expected.len());
+        prop_assert_eq!(&decoded.records[..], &expected[..decoded.records.len()]);
+        // The flag is exact: torn iff the cut kept part of the next record.
+        let complete: usize = decoded.records.iter().map(|r| {
+            bam::core::journal::RECORD_OVERHEAD_BYTES + match r {
+                JournalRecord::Write { payload, .. } => payload.len(),
+                _ => 0,
+            }
+        }).sum();
+        prop_assert_eq!(decoded.torn_tail, cut != complete);
+    }
+
+    /// Flipping any single byte of a complete journal is detected and
+    /// reported as typed corruption naming a plausible LSN.
+    #[test]
+    fn journal_byte_flips_are_typed_corruption(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), 0u64..3), 1..24),
+        pos_sel in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let (journal, expected) = journal_from_ops(&ops);
+        let mut bytes = journal.snapshot();
+        let pos = (pos_sel % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        match decode_records(&bytes) {
+            Err(BamError::JournalCorrupt { lsn }) => {
+                prop_assert!(lsn >= 1 && lsn <= expected.len() as u64,
+                    "flip at {} blamed lsn {}", pos, lsn);
+            }
+            other => prop_assert!(false, "flip at {} undetected: {:?}", pos, other),
+        }
+    }
+
+    /// Recovery never panics: untampered journals replay cleanly, and torn,
+    /// flipped, or torn-and-flipped journals either replay their valid
+    /// prefix or fail with a typed error.
+    #[test]
+    fn journal_recovery_never_panics(
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), 0u64..3), 1..24),
+        cut_sel in any::<u64>(),
+        flip_sel in any::<u64>(),
+    ) {
+        let (journal, _) = journal_from_ops(&ops);
+        let bytes = journal.snapshot();
+        let (gpu, backing) = journal_backing();
+        prop_assert!(recover(&bytes, backing.as_ref(), &gpu, 1024).is_ok());
+
+        // Torn-only journals still recover: the complete prefix replays.
+        let cut = (cut_sel % (bytes.len() as u64 + 1)) as usize;
+        let torn = &bytes[..cut];
+        prop_assert!(recover(torn, backing.as_ref(), &gpu, 1024).is_ok());
+
+        // Arbitrary further damage must at worst produce a typed error.
+        let mut damaged = torn.to_vec();
+        if !damaged.is_empty() {
+            let pos = (flip_sel % damaged.len() as u64) as usize;
+            damaged[pos] ^= 1 + (flip_sel >> 32) as u8 % 255;
+        }
+        match recover(&damaged, backing.as_ref(), &gpu, 1024) {
+            Ok(_) | Err(BamError::JournalCorrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected recovery error {:?}", other),
         }
     }
 }
