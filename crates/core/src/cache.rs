@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use bam_mem::DevAddr;
 
 use crate::backing::CacheBacking;
@@ -40,6 +42,11 @@ const SLOT_SHIFT: u32 = 32;
 
 /// Sentinel in `slot_to_line` marking a slot claimed by an in-progress fetch.
 const SLOT_CLAIMED: u64 = u64::MAX;
+
+/// Stripes in the per-line write-lock table. Same-line writes serialize on
+/// their stripe so journal LSN order matches the order payloads land in the
+/// line image (see [`BamCache::journalled_write`]).
+const WRITE_LOCK_STRIPES: usize = 64;
 
 #[inline]
 fn pack(state: u64, dirty: bool, refs: u64, slot: u64) -> u64 {
@@ -126,6 +133,16 @@ pub struct BamCache {
     /// Write-ahead metadata journal; when present, every acknowledged write
     /// and every dirty-line write-back is journalled (see [`crate::journal`]).
     journal: Option<Arc<CacheJournal>>,
+    /// Per-line newest write LSN whose payload has landed in the cached line
+    /// image (0 = none). Write-back intents cover exactly this horizon: a
+    /// journalled-but-unapplied write stays above it and is replayed by
+    /// recovery, so a flush racing with a write can never seal a commit
+    /// claiming bytes the media never saw.
+    applied_lsn: Vec<AtomicU64>,
+    /// Striped per-line write locks held across journal-append + data-apply
+    /// in [`BamCache::journalled_write`], keeping `applied_lsn` monotone in
+    /// LSN order under concurrent same-line writers.
+    write_locks: Vec<Mutex<()>>,
 }
 
 impl std::fmt::Debug for BamCache {
@@ -161,6 +178,10 @@ impl BamCache {
         });
         let mut slot_to_line = Vec::with_capacity(num_slots as usize);
         slot_to_line.resize_with(num_slots as usize, || AtomicU64::new(0));
+        let mut applied_lsn = Vec::with_capacity(num_lines as usize);
+        applied_lsn.resize_with(num_lines as usize, || AtomicU64::new(0));
+        let mut write_locks = Vec::with_capacity(WRITE_LOCK_STRIPES);
+        write_locks.resize_with(WRITE_LOCK_STRIPES, || Mutex::new(()));
         Self {
             backing,
             metrics,
@@ -171,11 +192,13 @@ impl BamCache {
             line_bytes,
             num_slots,
             journal: None,
+            applied_lsn,
+            write_locks,
         }
     }
 
     /// Attaches a write-ahead journal: from here on, writes acknowledged via
-    /// [`BamCache::journal_write`] and dirty-line write-backs are durably
+    /// [`BamCache::journalled_write`] and dirty-line write-backs are durably
     /// logged, making the cache crash-recoverable through
     /// [`crate::journal::recover`].
     pub fn with_journal(mut self, journal: Arc<CacheJournal>) -> Self {
@@ -288,23 +311,43 @@ impl BamCache {
         }
     }
 
-    /// Journals an application write of `payload` at byte `offset` within
-    /// `line`. Must be called *before* the data is written to the cached line
-    /// and acknowledged — the journal append is the acknowledgement point; a
-    /// write whose append crashed was never acknowledged and owes the
-    /// application nothing.
+    /// Journals and applies an application write of `payload` at byte
+    /// `offset` within `line`: appends the redo record (the acknowledgement
+    /// point), runs `apply` to land the bytes in the cached line image,
+    /// advances the line's applied-LSN horizon, and marks the line dirty.
     ///
-    /// A no-op when no journal is attached.
+    /// The line's write-lock stripe is held across append + apply, so the
+    /// applied horizon only ever names payloads that are really in GPU
+    /// memory and rises in LSN order even under concurrent same-line
+    /// writers. A write-back intent sealed mid-write therefore covers at
+    /// most the previous write; the in-flight one stays above the horizon
+    /// and is redone (idempotently) by recovery.
+    ///
+    /// Without a journal this is a plain apply + mark-dirty.
     ///
     /// # Errors
     ///
     /// Returns [`BamError::Crashed`] if an injected crash point tripped
-    /// during the append.
-    pub fn journal_write(&self, line: u64, offset: u64, payload: &[u8]) -> Result<(), BamError> {
-        if let Some(journal) = &self.journal {
-            let appended = journal.append_write(line, offset, payload)?;
-            self.metrics.record_journal_append(appended.bytes);
-        }
+    /// during the append; `apply` is not run and the line is untouched (the
+    /// write was never acknowledged and owes the application nothing).
+    pub fn journalled_write(
+        &self,
+        line: u64,
+        offset: u64,
+        payload: &[u8],
+        apply: impl FnOnce(),
+    ) -> Result<(), BamError> {
+        let Some(journal) = &self.journal else {
+            apply();
+            self.line_state[line as usize].fetch_or(DIRTY_BIT, Ordering::AcqRel);
+            return Ok(());
+        };
+        let _write_order = self.write_locks[line as usize % WRITE_LOCK_STRIPES].lock();
+        let appended = journal.append_write(line, offset, payload)?;
+        self.metrics.record_journal_append(appended.bytes);
+        apply();
+        self.applied_lsn[line as usize].fetch_max(appended.lsn, Ordering::AcqRel);
+        self.line_state[line as usize].fetch_or(DIRTY_BIT, Ordering::AcqRel);
         Ok(())
     }
 
@@ -315,7 +358,12 @@ impl BamCache {
         let Some(journal) = &self.journal else {
             return self.backing.writeback_line(line, src);
         };
-        let intent = journal.append_writeback_intent(line)?;
+        // Cover only writes whose payloads had landed in the line image
+        // before the media write begins (never the journal's own view of
+        // what was appended): anything racing past this snapshot is left
+        // above the horizon for recovery to redo.
+        let covered = self.applied_lsn[line as usize].load(Ordering::Acquire);
+        let intent = journal.append_writeback_intent(line, covered)?;
         self.metrics.record_journal_append(intent.bytes);
         self.backing.writeback_line(line, src)?;
         let commit = journal.append_writeback_commit(line, intent.lsn)?;
@@ -328,6 +376,12 @@ impl BamCache {
     /// volatile and did not survive the crash; the journal replay
     /// ([`crate::journal::recover`]) has already restored acknowledged writes
     /// to the backing store, so a cold directory *is* the consistent state.
+    ///
+    /// The per-line applied-LSN horizons are deliberately kept: recovery has
+    /// made every journalled write durable on the media, so each horizon
+    /// still lower-bounds the write coverage of any freshly fetched line
+    /// image (a conservative horizon only ever causes idempotent re-replay,
+    /// never a lost write).
     pub fn reset_after_crash(&self) {
         for state in &self.line_state {
             state.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
@@ -794,9 +848,10 @@ mod tests {
         let cache = BamCache::new(backing, metrics.clone(), 0, 8).with_journal(journal.clone());
 
         let g = cache.acquire(2).unwrap();
-        cache.journal_write(2, 0, &[0x11; 512]).unwrap();
-        gpu.write_bytes(g.addr(), &[0x11; 512]);
-        g.mark_dirty();
+        let addr = g.addr();
+        cache
+            .journalled_write(2, 0, &[0x11; 512], || gpu.write_bytes(addr, &[0x11; 512]))
+            .unwrap();
         drop(g);
         cache.flush().unwrap();
 
@@ -820,6 +875,62 @@ mod tests {
         let s = metrics.snapshot();
         assert_eq!(s.journal_appends, 3);
         assert_eq!(s.journal_bytes, journal.appended_bytes());
+    }
+
+    /// Regression test for the lost-acked-write race: a flush that runs
+    /// after a write's journal append but before its payload lands in the
+    /// line image must not seal a commit covering that write. The flush is
+    /// driven deterministically from inside the write's `apply` closure —
+    /// exactly the window a concurrent thread would hit.
+    #[test]
+    fn flush_racing_a_write_never_covers_unapplied_bytes() {
+        use crate::journal::{decode_records, recover, JournalRecord};
+        let data = Arc::new(ByteRegion::new(64 * 512));
+        let gpu = Arc::new(ByteRegion::new(1 << 20));
+        let backing = Arc::new(MemoryBacking::new(data.clone(), 0, gpu.clone(), 512, 64));
+        let journal = Arc::new(CacheJournal::new());
+        let metrics = Arc::new(BamMetrics::new());
+        let cache = BamCache::new(backing.clone(), metrics, 0, 8).with_journal(journal.clone());
+
+        let g = cache.acquire(2).unwrap();
+        let addr = g.addr();
+        cache
+            .journalled_write(2, 0, &[0x11; 512], || gpu.write_bytes(addr, &[0x11; 512]))
+            .unwrap();
+        // Second write: its redo record (LSN 2) is appended, then — before
+        // the payload reaches the image — a flush writes the line back.
+        cache
+            .journalled_write(2, 0, &[0x22; 16], || {
+                cache.flush().unwrap();
+                gpu.write_bytes(addr, &[0x22; 16]);
+            })
+            .unwrap();
+
+        // The intent sealed mid-write may cover only the applied LSN 1.
+        let decoded = decode_records(&journal.snapshot()).unwrap();
+        let covered: Vec<u64> = decoded
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::WritebackIntent { covered_lsn, .. } => Some(*covered_lsn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            covered,
+            vec![1],
+            "intent must not claim the in-flight write"
+        );
+
+        // Crash now (volatile image lost): recovery must redo write 2.
+        let report = recover(&journal.snapshot(), backing.as_ref(), &gpu, 16 * 512).unwrap();
+        assert_eq!(report.replayed_writes, 1);
+        let mut media = [0u8; 16];
+        data.read_bytes(2 * 512, &mut media);
+        assert_eq!(
+            media, [0x22; 16],
+            "acknowledged write lost across the crash"
+        );
     }
 
     #[test]

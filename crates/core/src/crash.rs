@@ -69,18 +69,29 @@ impl CrashPoint {
     }
 
     /// Consumes one durable step and reports whether it may proceed.
+    ///
+    /// The outcome is decided purely from the step index drawn by the
+    /// `fetch_add` (strictly before the armed step → run, the armed step →
+    /// crash, after it → down), so the trip is atomic with step consumption:
+    /// no thread can draw a post-crash index yet observe a not-yet-latched
+    /// `crashed` flag and run a durable op after the crash tripped.
     pub fn consume_step(&self) -> StepOutcome {
-        if self.crashed.load(Ordering::Acquire) {
-            return StepOutcome::Down;
-        }
+        let crash_at = self.crash_at.load(Ordering::Acquire);
         let step = self.next_step.fetch_add(1, Ordering::AcqRel);
-        if step == self.crash_at.load(Ordering::Relaxed) {
-            self.crashed.store(true, Ordering::Release);
-            StepOutcome::Crash {
-                torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
+        match step.cmp(&crash_at) {
+            std::cmp::Ordering::Less => StepOutcome::Run,
+            std::cmp::Ordering::Equal => {
+                self.crashed.store(true, Ordering::Release);
+                StepOutcome::Crash {
+                    torn_bytes: self.torn_bytes.load(Ordering::Acquire),
+                }
             }
-        } else {
-            StepOutcome::Run
+            std::cmp::Ordering::Greater => {
+                // Keep the latch consistent for `is_crashed` even if this
+                // thread outraced the one that drew the armed index.
+                self.crashed.store(true, Ordering::Release);
+                StepOutcome::Down
+            }
         }
     }
 
@@ -128,6 +139,46 @@ mod tests {
         assert!(cp.is_crashed());
         assert_eq!(cp.consume_step(), StepOutcome::Down);
         assert_eq!(cp.consume_step(), StepOutcome::Down);
+    }
+
+    #[test]
+    fn concurrent_steps_trip_exactly_once_and_never_run_past_the_crash() {
+        // 4 threads × 50 steps against a crash armed at index 50: exactly 50
+        // steps may Run, exactly one trips, and every later index is Down —
+        // regardless of thread interleaving. This is the check-then-act race
+        // the single atomic draw closes.
+        let cp = CrashPoint::new();
+        cp.arm(50, 3);
+        let (runs, crashes, downs) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (mut r, mut c, mut d) = (0u64, 0u64, 0u64);
+                        for _ in 0..50 {
+                            match cp.consume_step() {
+                                StepOutcome::Run => r += 1,
+                                StepOutcome::Crash { torn_bytes } => {
+                                    assert_eq!(torn_bytes, 3);
+                                    c += 1;
+                                }
+                                StepOutcome::Down => d += 1,
+                            }
+                        }
+                        (r, c, d)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold((0, 0, 0), |(r, c, d), (r2, c2, d2)| {
+                    (r + r2, c + c2, d + d2)
+                })
+        });
+        assert_eq!(runs, 50, "a durable op ran at or after the crash step");
+        assert_eq!(crashes, 1, "the armed step must trip exactly once");
+        assert_eq!(downs, 149);
+        assert!(cp.is_crashed());
     }
 
     #[test]

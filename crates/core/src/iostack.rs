@@ -16,6 +16,18 @@ use crate::error::BamError;
 use crate::metrics::BamMetrics;
 use crate::queue::BamQueuePair;
 
+/// Ceiling on the per-attempt fetch-retry backoff. The exponential saturates
+/// here instead of overflowing the shift for large configured retry counts.
+const MAX_FETCH_BACKOFF_US: u64 = 10_000;
+
+/// Backoff before retry `attempt` (1-based): `base_us · 2^(attempt-1)`,
+/// saturating at [`MAX_FETCH_BACKOFF_US`] (never overflowing, however large
+/// the configured retry budget).
+fn retry_backoff_us(base_us: u64, attempt: u32) -> u64 {
+    let factor = 1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX);
+    base_us.saturating_mul(factor).min(MAX_FETCH_BACKOFF_US)
+}
+
 /// The GPU-side I/O stack over a multi-SSD array.
 pub struct IoStack {
     array: Arc<SsdArray>,
@@ -36,8 +48,8 @@ pub struct IoStack {
     /// Extra attempts for a cache-miss fetch that fails with a transient
     /// storage error (0 = fail fast).
     fetch_retries: u32,
-    /// Backoff before retry `n` (1-based) is `fetch_retry_base_us << (n-1)`
-    /// microseconds.
+    /// Backoff before retry `n` (1-based) is `fetch_retry_base_us · 2^(n-1)`
+    /// microseconds, saturating at [`MAX_FETCH_BACKOFF_US`].
     fetch_retry_base_us: u64,
 }
 
@@ -98,8 +110,9 @@ impl IoStack {
 
     /// Enables bounded retry with exponential backoff for cache-miss fetches
     /// that fail with a transient [`BamError::Storage`] error: up to
-    /// `retries` extra attempts, sleeping `base_us << (attempt - 1)`
-    /// microseconds before each. Under replication the round-robin device
+    /// `retries` extra attempts, sleeping `base_us · 2^(attempt-1)`
+    /// microseconds (saturating at [`MAX_FETCH_BACKOFF_US`]) before each.
+    /// Under replication the round-robin device
     /// selector naturally steers each attempt at the next replica. Every
     /// retry is counted in [`crate::MetricsSnapshot::storage_retries`].
     pub fn with_fetch_retry(mut self, retries: u32, base_us: u64) -> Self {
@@ -241,7 +254,7 @@ impl CacheBacking for IoStack {
                     attempt += 1;
                     self.metrics.record_retry();
                     if self.fetch_retry_base_us > 0 {
-                        let backoff = self.fetch_retry_base_us << (attempt - 1);
+                        let backoff = retry_backoff_us(self.fetch_retry_base_us, attempt);
                         std::thread::sleep(std::time::Duration::from_micros(backoff));
                     }
                 }
@@ -396,6 +409,19 @@ mod tests {
             Err(BamError::Storage(_))
         ));
         assert_eq!(stack.metrics.snapshot().storage_retries, 2 + 3);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing_the_shift() {
+        assert_eq!(retry_backoff_us(100, 1), 100);
+        assert_eq!(retry_backoff_us(100, 2), 200);
+        assert_eq!(retry_backoff_us(100, 5), 1600);
+        // Past the cap the exponential flattens out.
+        assert_eq!(retry_backoff_us(100, 8), MAX_FETCH_BACKOFF_US);
+        // Shift amounts that would overflow (attempt >= 65 panicked in debug
+        // builds before) saturate at the cap instead.
+        assert_eq!(retry_backoff_us(1, 65), MAX_FETCH_BACKOFF_US);
+        assert_eq!(retry_backoff_us(u64::MAX, 200), MAX_FETCH_BACKOFF_US);
     }
 
     // Keep `SsdDevice` import used even though tests go through `SsdArray`.

@@ -256,8 +256,6 @@ pub struct JournalAppend {
 struct JournalInner {
     buf: Vec<u8>,
     next_lsn: u64,
-    /// Newest write-record LSN per line (for intent `covered_lsn`s).
-    latest_write_lsn: HashMap<u64, u64>,
     /// Application payload bytes acknowledged through the journal.
     payload_bytes: u64,
 }
@@ -326,7 +324,6 @@ impl CacheJournal {
         inner.buf.extend_from_slice(&rec);
         inner.next_lsn += 1;
         if kind == KIND_WRITE {
-            inner.latest_write_lsn.insert(line, lsn);
             inner.payload_bytes += payload.len() as u64;
         }
         Ok(JournalAppend {
@@ -351,18 +348,25 @@ impl CacheJournal {
         self.append(KIND_WRITE, line, offset, payload)
     }
 
-    /// Journals the intent to write `line` back to media, covering every
-    /// write journalled for it so far.
+    /// Journals the intent to write `line` back to media. `covered_lsn` is
+    /// the newest write-record LSN whose payload is known to have landed in
+    /// the line image about to be written (0 = none).
+    ///
+    /// The caller must derive `covered_lsn` from the *applied* bytes (see
+    /// `BamCache`'s per-line applied-LSN horizon), never from journal
+    /// metadata: a write is journalled before its payload reaches GPU
+    /// memory, and an intent sealed in that window would let recovery skip
+    /// replaying an acknowledged write whose bytes the media never saw.
     ///
     /// # Errors
     ///
     /// Returns [`BamError::Crashed`] if the crash point tripped.
-    pub fn append_writeback_intent(&self, line: u64) -> Result<JournalAppend, BamError> {
-        let covered = {
-            let inner = self.inner.lock();
-            inner.latest_write_lsn.get(&line).copied().unwrap_or(0)
-        };
-        self.append(KIND_INTENT, line, covered, &[])
+    pub fn append_writeback_intent(
+        &self,
+        line: u64,
+        covered_lsn: u64,
+    ) -> Result<JournalAppend, BamError> {
+        self.append(KIND_INTENT, line, covered_lsn, &[])
     }
 
     /// Seals intent `intent_lsn`: the media write of `line` succeeded.
@@ -570,7 +574,7 @@ mod tests {
         let a = j.append_write(3, 16, &[0xAB; 32]).unwrap();
         assert_eq!(a.lsn, 1);
         assert_eq!(a.bytes as usize, RECORD_OVERHEAD_BYTES + 32);
-        let i = j.append_writeback_intent(3).unwrap();
+        let i = j.append_writeback_intent(3, a.lsn).unwrap();
         assert_eq!(i.lsn, 2);
         let c = j.append_writeback_commit(3, i.lsn).unwrap();
         assert_eq!(c.lsn, 3);
@@ -600,19 +604,21 @@ mod tests {
     }
 
     #[test]
-    fn intent_covers_the_newest_write() {
+    fn intent_encodes_the_callers_applied_horizon() {
         let j = CacheJournal::new();
         j.append_write(7, 0, &[1]).unwrap();
-        j.append_write(7, 1, &[2]).unwrap();
+        let applied = j.append_write(7, 1, &[2]).unwrap();
         j.append_write(9, 0, &[3]).unwrap();
-        let i = j.append_writeback_intent(7).unwrap();
+        // The caller's applied horizon is recorded verbatim — the journal
+        // itself must not guess coverage from its own metadata.
+        let i = j.append_writeback_intent(7, applied.lsn).unwrap();
         let decoded = decode_records(&j.snapshot()).unwrap();
         match &decoded.records[i.lsn as usize - 1] {
             JournalRecord::WritebackIntent { covered_lsn, .. } => assert_eq!(*covered_lsn, 2),
             other => panic!("expected intent, got {other:?}"),
         }
         // A line never written has a zero horizon.
-        let i2 = j.append_writeback_intent(100).unwrap();
+        let i2 = j.append_writeback_intent(100, 0).unwrap();
         let decoded = decode_records(&j.snapshot()).unwrap();
         match &decoded.records[i2.lsn as usize - 1] {
             JournalRecord::WritebackIntent { covered_lsn, .. } => assert_eq!(*covered_lsn, 0),
@@ -638,7 +644,7 @@ mod tests {
     fn bit_flips_report_typed_corruption() {
         let j = CacheJournal::new();
         j.append_write(0, 0, &[7; 24]).unwrap();
-        j.append_writeback_intent(0).unwrap();
+        j.append_writeback_intent(0, 1).unwrap();
         let bytes = j.snapshot();
         for pos in 0..bytes.len() {
             let mut bad = bytes.clone();
@@ -660,7 +666,7 @@ mod tests {
         cp.arm(1, 20); // second append tears at 20 bytes
         assert_eq!(j.append_write(1, 0, &[2; 16]), Err(BamError::Crashed));
         // Once down, nothing else persists.
-        assert_eq!(j.append_writeback_intent(0), Err(BamError::Crashed));
+        assert_eq!(j.append_writeback_intent(0, 1), Err(BamError::Crashed));
         let d = decode_records(&j.snapshot()).unwrap();
         assert_eq!(d.records.len(), 1);
         assert!(d.torn_tail);
@@ -696,8 +702,8 @@ mod tests {
     fn committed_lines_are_not_double_applied() {
         let (_data, gpu, backing) = recovery_rig();
         let j = CacheJournal::new();
-        j.append_write(4, 0, &[1; 64]).unwrap();
-        let i = j.append_writeback_intent(4).unwrap();
+        let w = j.append_write(4, 0, &[1; 64]).unwrap();
+        let i = j.append_writeback_intent(4, w.lsn).unwrap();
         j.append_writeback_commit(4, i.lsn).unwrap();
         let report = recover(&j.snapshot(), backing.as_ref(), &gpu, 1024).unwrap();
         assert_eq!(report.replayed_lines, 0);
@@ -709,8 +715,8 @@ mod tests {
     fn writes_after_a_commit_are_still_replayed() {
         let (data, gpu, backing) = recovery_rig();
         let j = CacheJournal::new();
-        j.append_write(4, 0, &[1; 64]).unwrap();
-        let i = j.append_writeback_intent(4).unwrap();
+        let w = j.append_write(4, 0, &[1; 64]).unwrap();
+        let i = j.append_writeback_intent(4, w.lsn).unwrap();
         j.append_writeback_commit(4, i.lsn).unwrap();
         j.append_write(4, 8, &[2; 4]).unwrap(); // newer than the commit
         let report = recover(&j.snapshot(), backing.as_ref(), &gpu, 1024).unwrap();

@@ -129,12 +129,16 @@ impl SystemInner {
         let region = self.gpu.region();
         if let Some(cache) = &self.cache {
             let guard = cache.acquire(line)?;
-            // Write-ahead: the journal append is the acknowledgement point.
-            // If it crashes, the write was never acknowledged and the cached
-            // line is untouched.
-            cache.journal_write(line, offset, bytes)?;
-            region.write_bytes(guard.addr() + offset, bytes);
-            guard.mark_dirty();
+            let addr = guard.addr();
+            // Write-ahead: the journal append is the acknowledgement point
+            // (if it crashes, the write was never acknowledged and the
+            // cached line is untouched), and append + apply run under the
+            // line's write lock so a racing flush can never seal a commit
+            // covering bytes that are not yet in the line image.
+            cache.journalled_write(line, offset, bytes, || {
+                region.write_bytes(addr + offset, bytes);
+            })?;
+            drop(guard);
             Ok(())
         } else {
             let (_slot_guard, addr) = self.lock_scratch();

@@ -111,12 +111,13 @@ fn journal_from_ops(ops: &[(u64, u64, u64)]) -> (CacheJournal, Vec<JournalRecord
                 });
             }
             _ => {
-                let a = journal.append_writeback_intent(line).unwrap();
+                let covered = latest_write.get(&line).copied().unwrap_or(0);
+                let a = journal.append_writeback_intent(line, covered).unwrap();
                 open_intents.insert(line, a.lsn);
                 expected.push(JournalRecord::WritebackIntent {
                     lsn: a.lsn,
                     line,
-                    covered_lsn: latest_write.get(&line).copied().unwrap_or(0),
+                    covered_lsn: covered,
                 });
             }
         }
