@@ -4,9 +4,11 @@
 //! its bandwidth-latency product (§2.2) and the per-request latency
 //! distribution is reported alongside the analytic envelope it must agree
 //! with in the mean — the dynamics behind the Fig 9 slowdowns. Pass `--json`
-//! to also write `BENCH_latency_cdf.json`.
+//! to also write `BENCH_latency_cdf.json`, and `--trace-out <path>` to
+//! export the Optane 1×-depth cell's spans as Chrome trace-event JSON.
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::{print_table, sim_exp};
+use bam_sim::chrome_trace_json;
 
 /// Access granularity of the sweep (the graph experiments' 4 KB lines).
 const ACCESS_BYTES: u64 = 4096;
@@ -57,6 +59,16 @@ fn main() {
          product (Little's law); at 2x, throughput stays at the peak while every percentile \
          roughly doubles — latency bought nothing."
     );
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            let path = args.next().expect("--trace-out needs a path");
+            let events = sim_exp::latency_cdf_traced_events(4, ACCESS_BYTES, SEED);
+            std::fs::write(&path, chrome_trace_json(&events))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
     if json_mode() {
         let body = JsonObject::new()
             .str("bench", "latency_cdf")

@@ -6,12 +6,13 @@
 //! surviving journal, and reports the recovery-replay cost and the journal's
 //! write amplification. The replay time is *simulated* (event-driven engine,
 //! journal-flush stage enabled), so every number here is deterministic.
-//! Pass `--json` to also write `BENCH_recovery.json`.
+//! Pass `--json` to also write `BENCH_recovery.json`, or `--verbose` to
+//! additionally dissect one mid-run crash into its per-line replay plan.
 
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::print_table;
 use bam_bench::recovery_exp::{
-    recovery_sweep, RECOVERY_CRASH_POINTS, RECOVERY_DIRTY_SETS, RECOVERY_SIM_SEED,
+    recovery_sweep, verbose_cell, RECOVERY_CRASH_POINTS, RECOVERY_DIRTY_SETS, RECOVERY_SIM_SEED,
     RECOVERY_WRITES_PER_LINE,
 };
 
@@ -56,6 +57,26 @@ fn main() {
          write-backs are never double-applied — while mid-run crashes replay at most the \
          acknowledged writes, with replay time growing with the dirty working set."
     );
+    if std::env::args().any(|a| a == "--verbose") {
+        let (plan, report) = verbose_cell();
+        let lines: Vec<Vec<String>> = plan
+            .iter()
+            .map(|l| {
+                vec![
+                    l.line.to_string(),
+                    l.durable_lsn.to_string(),
+                    l.pending_writes.to_string(),
+                    l.pending_bytes.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "Per-line replay plan: largest dirty set, crash at half the durable steps",
+            &["Line", "Durable LSN", "Pending writes", "Pending bytes"],
+            &lines,
+        );
+        println!("\nrecovery: {report}");
+    }
     if json_mode() {
         let body = JsonObject::new()
             .str("bench", "recovery")

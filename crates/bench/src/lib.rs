@@ -26,6 +26,7 @@
 //! | [`graph_exp::figure11`] | Fig 11 (queue-pair sensitivity, analytic + event-driven) |
 //! | [`sim_exp::latency_cdf`] | Tail-latency CDFs per SSD technology (event-driven; extends Fig 9 / Table 2) |
 //! | [`sim_exp::tenant_matrix`] | Multi-tenant interference/fairness sweep (event-driven; beyond the paper) |
+//! | [`breakdown_exp::breakdown`] | Per-stage latency attribution + span traces (event-driven; beyond the paper) |
 //! | [`analytics_exp::figure12`] | Fig 12 (BaM vs RAPIDS, I/O amplification) |
 //! | [`misc_exp::figure13`] | Fig 13 (register usage) |
 //! | [`analytics_exp::figure14`] | Fig 14 (RAPIDS breakdown) |
@@ -34,6 +35,7 @@
 //! | [`recovery_exp::recovery_sweep`] | Crash-recovery sweep (journal replay; beyond the paper) |
 
 pub mod analytics_exp;
+pub mod breakdown_exp;
 pub mod drift;
 pub mod graph_exp;
 pub mod jsonout;

@@ -15,8 +15,10 @@
 use std::sync::Arc;
 
 use bam_core::journal::RECORD_OVERHEAD_BYTES;
-use bam_core::{BamArray, BamConfig, BamError, BamSystem, CrashPoint};
-use bam_nvme_sim::SsdSpec;
+use bam_core::{
+    replay_plan, BamArray, BamConfig, BamError, BamSystem, CrashPoint, LineReplay, RecoveryReport,
+};
+use bam_nvme_sim::{DataLayout, SsdSpec};
 use bam_pcie::LinkSpec;
 use bam_sim::{run, PipelineParams, RequestDesc, SimConfig, Workload};
 
@@ -155,6 +157,50 @@ fn run_cell(dirty_lines: u64, crash_step: u64, total_steps: u64, torn_bytes: u64
     }
 }
 
+/// The cell `recovery --verbose` dissects: the largest dirty working set
+/// crashed halfway through its durable steps. Returns the per-line replay
+/// plan (decoded from the surviving journal *before* the replay runs) and
+/// the recovery report; the plan's pending writes always sum to the
+/// report's replayed writes.
+pub fn verbose_cell() -> (Vec<LineReplay>, RecoveryReport) {
+    let dirty_lines = *RECOVERY_DIRTY_SETS.last().expect("non-empty sweep");
+    let per_line = sweep_config(dirty_lines).cache_line_bytes / 8;
+    let build = || {
+        let cp = Arc::new(CrashPoint::new());
+        let sys = BamSystem::with_crash_point(sweep_config(dirty_lines), cp.clone()).unwrap();
+        let arr = sys.create_array::<u64>(dirty_lines * per_line).unwrap();
+        arr.preload(&vec![0u64; (dirty_lines * per_line) as usize])
+            .unwrap();
+        (cp, sys, arr)
+    };
+    // Dry run: count the durable steps this working set takes.
+    let (cp, sys, arr) = build();
+    drive_workload(&sys, &arr, dirty_lines);
+    let total_steps = cp.steps_taken();
+
+    // The mid-run crash, replayed with its plan decoded first.
+    let (cp, sys, arr) = build();
+    cp.arm(total_steps / 2, 24);
+    drive_workload(&sys, &arr, dirty_lines);
+    let image = sys
+        .journal()
+        .expect("sweep systems are journalled")
+        .snapshot();
+    let cfg = sys.config();
+    let logical_capacity = match cfg.layout {
+        DataLayout::Replicated => cfg.ssd_capacity_bytes,
+        DataLayout::Striped { .. } => cfg.ssd_capacity_bytes * cfg.num_ssds as u64,
+    };
+    let plan = replay_plan(
+        &image,
+        logical_capacity / cfg.cache_line_bytes,
+        cfg.cache_line_bytes,
+    )
+    .expect("a live run's journal decodes");
+    let report = sys.recover_from_journal(&image).unwrap();
+    (plan, report)
+}
+
 /// The full sweep: every dirty-set size × nine evenly spaced crash points
 /// (the ninth past the end, so the no-crash journal is in the trajectory).
 pub fn recovery_sweep() -> Vec<RecoveryRow> {
@@ -186,6 +232,17 @@ pub fn recovery_sweep() -> Vec<RecoveryRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verbose_cell_plan_matches_its_report() {
+        let (plan, report) = verbose_cell();
+        let planned_writes: u64 = plan.iter().map(|l| l.pending_writes).sum();
+        let planned_lines = plan.iter().filter(|l| l.pending_writes > 0).count() as u64;
+        assert_eq!(planned_writes, report.replayed_writes);
+        assert_eq!(planned_lines, report.replayed_lines);
+        assert!(report.replayed_lines > 0, "the mid-run crash owes a replay");
+        assert!(report.to_string().contains("replayed"));
+    }
 
     #[test]
     fn sweep_is_deterministic_and_replays_scale_with_dirty_set() {

@@ -12,7 +12,7 @@ use bam_nvme_sim::SsdSpec;
 use bam_pcie::LinkSpec;
 use bam_sim::{
     engine, interference_ratio, ArrivalProcess, Mmpp2, PipelineParams, QueuePairPolicy, SimConfig,
-    SimReport, TenantSpec, Workload,
+    SimReport, SpanEvent, SpanRecorder, TenantSpec, Workload,
 };
 use bam_timing::{required_queue_depth, SsdArrayModel};
 use serde::{Deserialize, Serialize};
@@ -104,6 +104,38 @@ pub fn latency_cdf(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<Latency
         }
     }
     rows
+}
+
+/// Span events of one representative `latency_cdf` cell — Optane at 1× its
+/// bandwidth-latency product — re-run under tracing (which changes nothing:
+/// the report is identical to the untraced cell's). This is what
+/// `latency_cdf --trace-out` exports; deterministic per seed.
+pub fn latency_cdf_traced_events(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<SpanEvent> {
+    let spec = SsdSpec::intel_optane_p5800x();
+    let model = SsdArrayModel::prototype(spec.clone(), num_ssds);
+    let qd = required_queue_depth(model.peak_read_iops(access_bytes), spec.read_latency_us).max(1);
+    let config = SimConfig {
+        seed,
+        num_ssds: num_ssds as u32,
+        queue_pairs_per_ssd: spec.max_queue_pairs,
+        pipeline: PipelineParams::from_specs(
+            &spec,
+            &LinkSpec::gen4_x4(),
+            &LinkSpec::gen4_x16(),
+            access_bytes,
+        ),
+    };
+    let reqs = engine::uniform_reads(&config, SAMPLE_REQUESTS);
+    let recorder = SpanRecorder::new();
+    engine::run_traced(
+        &config,
+        Workload::ClosedLoop {
+            in_flight: qd as u32,
+        },
+        &reqs,
+        &recorder,
+    );
+    recorder.events()
 }
 
 /// Simulated storage phase of one Figure-11 configuration: a 4-SSD Optane

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use bam_mem::DevAddr;
+use bam_obs::{SpanEvent, SpanSink, Stage};
 
 use crate::backing::CacheBacking;
 use crate::error::BamError;
@@ -143,6 +144,10 @@ pub struct BamCache {
     /// in [`BamCache::journalled_write`], keeping `applied_lsn` monotone in
     /// LSN order under concurrent same-line writers.
     write_locks: Vec<Mutex<()>>,
+    /// Optional span sink: when a recorder is installed, probe, miss-fetch
+    /// and journal-append stages emit [`bam_obs::SpanEvent`]s (virtual time
+    /// is the recorder's step counter; `arg` carries the line index).
+    spans: SpanSink,
 }
 
 impl std::fmt::Debug for BamCache {
@@ -194,7 +199,30 @@ impl BamCache {
             journal: None,
             applied_lsn,
             write_locks,
+            spans: SpanSink::new(),
         }
+    }
+
+    /// The cache's span sink; install a [`bam_obs::SpanRecorder`] to trace
+    /// probe, miss-fetch and journal-append stages.
+    pub fn spans(&self) -> &SpanSink {
+        &self.spans
+    }
+
+    /// Emits one span event covering `[start_step, now]` when a recorder is
+    /// installed; a fresh span id is allocated per event and correlated with
+    /// other subsystems via `arg` (the line index).
+    fn emit_span(&self, stage: Stage, start_step: u64, line: u64) {
+        self.spans.with(|rec| {
+            rec.record(SpanEvent {
+                span: rec.next_span_id(),
+                stage,
+                start_ns: start_step,
+                end_ns: rec.tick(),
+                track: 0,
+                arg: line,
+            });
+        });
     }
 
     /// Attaches a write-ahead journal: from here on, writes acknowledged via
@@ -251,6 +279,7 @@ impl BamCache {
             });
         }
         self.metrics.record_probe();
+        let probe_start = self.spans.with(|rec| rec.tick()).unwrap_or(0);
         let state = &self.line_state[line as usize];
         let mut spins = 0u64;
         loop {
@@ -263,6 +292,7 @@ impl BamCache {
                         .is_ok()
                     {
                         self.metrics.record_hit();
+                        self.emit_span(Stage::CacheProbe, probe_start, line);
                         return Ok(LineGuard {
                             cache: self,
                             line,
@@ -285,6 +315,8 @@ impl BamCache {
                         continue;
                     }
                     self.metrics.record_miss();
+                    self.emit_span(Stage::CacheProbe, probe_start, line);
+                    let fetch_start = self.spans.with(|rec| rec.tick()).unwrap_or(0);
                     let slot = match self.find_victim() {
                         Ok(s) => s,
                         Err(e) => {
@@ -299,6 +331,7 @@ impl BamCache {
                         state.store(pack(STATE_INVALID, false, 0, 0), Ordering::Release);
                         return Err(e);
                     }
+                    self.emit_span(Stage::MissFetch, fetch_start, line);
                     self.slot_to_line[slot as usize].store(line + 1, Ordering::Release);
                     state.store(pack(STATE_VALID, false, 1, slot), Ordering::Release);
                     return Ok(LineGuard {
@@ -343,8 +376,10 @@ impl BamCache {
             return Ok(());
         };
         let _write_order = self.write_locks[line as usize % WRITE_LOCK_STRIPES].lock();
+        let append_start = self.spans.with(|rec| rec.tick()).unwrap_or(0);
         let appended = journal.append_write(line, offset, payload)?;
         self.metrics.record_journal_append(appended.bytes);
+        self.emit_span(Stage::JournalAppend, append_start, line);
         apply();
         self.applied_lsn[line as usize].fetch_max(appended.lsn, Ordering::AcqRel);
         self.line_state[line as usize].fetch_or(DIRTY_BIT, Ordering::AcqRel);
@@ -530,6 +565,26 @@ mod tests {
         let metrics = Arc::new(BamMetrics::new());
         let cache = BamCache::new(backing, metrics, 0, num_slots);
         (data, gpu, cache)
+    }
+
+    #[test]
+    fn spans_trace_probe_miss_and_hit() {
+        let (_data, _gpu, cache) = rig(8);
+        let rec = Arc::new(bam_obs::SpanRecorder::new());
+        cache.spans().install(rec.clone());
+        drop(cache.acquire(3).unwrap()); // miss: probe + fetch
+        drop(cache.acquire(3).unwrap()); // hit: probe only
+        let events = rec.events();
+        let stages: Vec<Stage> = events.iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::CacheProbe, Stage::MissFetch, Stage::CacheProbe]
+        );
+        assert!(events.iter().all(|e| e.arg == 3));
+        assert!(events.iter().all(|e| e.end_ns > e.start_ns));
+        cache.spans().uninstall();
+        drop(cache.acquire(4).unwrap());
+        assert_eq!(rec.len(), 3, "uninstalled sink records nothing");
     }
 
     #[test]

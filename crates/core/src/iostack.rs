@@ -7,9 +7,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use bam_mem::DevAddr;
 use bam_nvme_sim::{DataLayout, IoEvent, NvmeCommand, SimHook, SsdArray, BLOCK_SIZE};
+use bam_obs::{SpanEvent, SpanSink, Stage};
 
 use crate::backing::CacheBacking;
 use crate::error::BamError;
@@ -45,6 +47,9 @@ pub struct IoStack {
     /// Fast-path flag mirroring `sim_hook.is_some()`: with no hook installed
     /// (the default) the submission path pays one relaxed load, no lock.
     sim_hook_installed: AtomicBool,
+    /// Optional span recorder: doorbell-stage spans (submit→completion wall
+    /// window in virtual steps) when a recorder is installed.
+    spans: SpanSink,
     /// Extra attempts for a cache-miss fetch that fails with a transient
     /// storage error (0 = fail fast).
     fetch_retries: u32,
@@ -103,9 +108,32 @@ impl IoStack {
             metrics,
             sim_hook: RwLock::new(None),
             sim_hook_installed: AtomicBool::new(false),
+            spans: SpanSink::new(),
             fetch_retries: 0,
             fetch_retry_base_us: 0,
         }
+    }
+
+    /// The stack's span sink. Installing a recorder here starts doorbell
+    /// spans; uninstalled (the default) the probe is one relaxed load.
+    pub fn spans(&self) -> &SpanSink {
+        &self.spans
+    }
+
+    /// Records one closed doorbell span: `start_step` was taken before the
+    /// submit, the end step is taken now, `track` is the device index and
+    /// `arg` the device-local LBA.
+    fn emit_doorbell_span(&self, start_step: u64, device: usize, lba: u64) {
+        self.spans.with(|rec| {
+            rec.record(SpanEvent {
+                span: rec.next_span_id(),
+                stage: Stage::Doorbell,
+                start_ns: start_step,
+                end_ns: rec.tick(),
+                track: device as u32,
+                arg: lba,
+            });
+        });
     }
 
     /// Enables bounded retry with exponential backoff for cache-miss fetches
@@ -131,7 +159,7 @@ impl IoStack {
         self.sim_hook_installed.store(installed, Ordering::Release);
     }
 
-    fn emit_submit(&self, device: usize, queue: u16, write: bool) {
+    fn emit_submit(&self, device: usize, queue: u16, write: bool, lba: u64) {
         if !self.sim_hook_installed.load(Ordering::Acquire) {
             return;
         }
@@ -146,6 +174,7 @@ impl IoStack {
                 queue,
                 write,
                 bytes: self.line_bytes,
+                lba,
             });
         }
     }
@@ -201,10 +230,14 @@ impl IoStack {
         let rr = self.rr_device.fetch_add(1, Ordering::Relaxed) as usize;
         let (device, lba) = self.array.locate_read(logical_lba, rr);
         let qp = self.pick_queue(device);
+        let start_step = self.spans.with(|rec| rec.tick());
         qp.submit_and_wait(NvmeCommand::read(0, lba, self.blocks_per_line(), dst))?;
+        if let Some(start) = start_step {
+            self.emit_doorbell_span(start, device, lba);
+        }
         // Emitted alongside the metrics so trace length and request counters
         // agree 1:1 (failed commands appear in neither).
-        self.emit_submit(device, qp.queue_id(), false);
+        self.emit_submit(device, qp.queue_id(), false, lba);
         self.metrics.record_read_request(self.line_bytes);
         Ok(())
     }
@@ -222,8 +255,12 @@ impl IoStack {
         let logical_lba = line * u64::from(self.blocks_per_line());
         for (device, lba) in self.array.locate_write(logical_lba) {
             let qp = self.pick_queue(device);
+            let start_step = self.spans.with(|rec| rec.tick());
             qp.submit_and_wait(NvmeCommand::write(0, lba, self.blocks_per_line(), src))?;
-            self.emit_submit(device, qp.queue_id(), true);
+            if let Some(start) = start_step {
+                self.emit_doorbell_span(start, device, lba);
+            }
+            self.emit_submit(device, qp.queue_id(), true, lba);
             self.metrics.record_write_request(self.line_bytes);
         }
         Ok(())
@@ -245,8 +282,9 @@ impl CacheBacking for IoStack {
     }
 
     fn fetch_line(&self, line: u64, dst: DevAddr) -> Result<(), BamError> {
+        let started = Instant::now();
         let mut attempt = 0u32;
-        loop {
+        let outcome = loop {
             match self.read_line(line, dst) {
                 // Only transient device failures are worth retrying; config
                 // and bounds errors are deterministic.
@@ -258,13 +296,24 @@ impl CacheBacking for IoStack {
                         std::thread::sleep(std::time::Duration::from_micros(backoff));
                     }
                 }
-                other => return other,
+                other => break other,
             }
+        };
+        if outcome.is_ok() {
+            self.metrics
+                .record_fetch_latency(started.elapsed().as_nanos() as u64);
         }
+        outcome
     }
 
     fn writeback_line(&self, line: u64, src: DevAddr) -> Result<(), BamError> {
-        self.write_line(line, src)
+        let started = Instant::now();
+        let outcome = self.write_line(line, src);
+        if outcome.is_ok() {
+            self.metrics
+                .record_writeback_latency(started.elapsed().as_nanos() as u64);
+        }
+        outcome
     }
 }
 

@@ -57,6 +57,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use bam_mem::{ByteRegion, DevAddr};
+use bam_obs::{SpanEvent, SpanRecorder, Stage};
 
 use crate::backing::CacheBacking;
 use crate::crash::{CrashPoint, StepOutcome};
@@ -466,6 +467,149 @@ pub struct RecoveryReport {
     pub journal_bytes: u64,
 }
 
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scanned {} records ({} writes, {} intents, {} commits) in {} journal bytes{}; \
+             replayed {} writes across {} lines",
+            self.records_scanned,
+            self.write_records,
+            self.intent_records,
+            self.committed_writebacks,
+            self.journal_bytes,
+            if self.torn_tail { " (torn tail)" } else { "" },
+            self.replayed_writes,
+            self.replayed_lines,
+        )
+    }
+}
+
+/// What recovery owes one line: pass 1 of [`recover`], exposed per line so
+/// callers (the `recovery --verbose` bench) can print the replay plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineReplay {
+    /// Backing-store line index.
+    pub line: u64,
+    /// Newest write LSN a committed write-back proves durable (0 = none).
+    pub durable_lsn: u64,
+    /// Write records newer than the durable horizon (these are replayed).
+    pub pending_writes: u64,
+    /// Total payload bytes across the pending writes.
+    pub pending_bytes: u64,
+}
+
+/// Per line: (lsn, offset, payload) of every write record, in LSN order.
+type WritesByLine<'a> = BTreeMap<u64, Vec<(u64, u64, &'a [u8])>>;
+
+/// Grouped redo records and per-line durable horizons (pass 1 of recovery).
+struct ScanOutcome<'a> {
+    writes_by_line: WritesByLine<'a>,
+    /// Per line: newest write LSN proven durable by a committed write-back.
+    durable_lsn: BTreeMap<u64, u64>,
+    write_records: u64,
+    intent_records: u64,
+    committed_writebacks: u64,
+}
+
+/// Groups redo records per line and finds, per line, the newest write LSN a
+/// committed write-back proves durable.
+fn scan_records<'a>(
+    decoded: &'a DecodedJournal,
+    num_lines: u64,
+    line_bytes: u64,
+) -> Result<ScanOutcome<'a>, BamError> {
+    let mut out = ScanOutcome {
+        writes_by_line: BTreeMap::new(),
+        durable_lsn: BTreeMap::new(),
+        write_records: 0,
+        intent_records: 0,
+        committed_writebacks: 0,
+    };
+    let mut intents: HashMap<u64, (u64, u64)> = HashMap::new(); // lsn -> (line, covered)
+    for record in &decoded.records {
+        match record {
+            JournalRecord::Write {
+                lsn,
+                line,
+                offset,
+                payload,
+            } => {
+                out.write_records += 1;
+                let end = offset.checked_add(payload.len() as u64);
+                if *line >= num_lines || end.is_none_or(|e| e > line_bytes) {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                }
+                out.writes_by_line.entry(*line).or_default().push((
+                    *lsn,
+                    *offset,
+                    payload.as_slice(),
+                ));
+            }
+            JournalRecord::WritebackIntent {
+                lsn,
+                line,
+                covered_lsn,
+            } => {
+                out.intent_records += 1;
+                intents.insert(*lsn, (*line, *covered_lsn));
+            }
+            JournalRecord::WritebackCommit {
+                lsn,
+                line,
+                intent_lsn,
+            } => {
+                out.committed_writebacks += 1;
+                let Some(&(intent_line, covered)) = intents.get(intent_lsn) else {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                };
+                if intent_line != *line {
+                    return Err(BamError::JournalCorrupt { lsn: *lsn });
+                }
+                let entry = out.durable_lsn.entry(*line).or_insert(0);
+                *entry = (*entry).max(covered);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes what [`recover`] *would* replay, without touching any backing
+/// store: one [`LineReplay`] per line that has at least one write record,
+/// in ascending line order. Lines with no pending writes report
+/// `pending_writes == 0` (they are skipped by the replay).
+///
+/// # Errors
+///
+/// Same journal-validation errors as [`recover`].
+pub fn replay_plan(
+    journal: &[u8],
+    num_lines: u64,
+    line_bytes: u64,
+) -> Result<Vec<LineReplay>, BamError> {
+    let decoded = decode_records(journal)?;
+    let scan = scan_records(&decoded, num_lines, line_bytes)?;
+    Ok(scan
+        .writes_by_line
+        .iter()
+        .map(|(line, writes)| {
+            let durable = scan.durable_lsn.get(line).copied().unwrap_or(0);
+            let pending = writes.iter().filter(|(lsn, _, _)| *lsn > durable);
+            let (mut n, mut bytes) = (0u64, 0u64);
+            for (_, _, payload) in pending {
+                n += 1;
+                bytes += payload.len() as u64;
+            }
+            LineReplay {
+                line: *line,
+                durable_lsn: durable,
+                pending_writes: n,
+                pending_bytes: bytes,
+            }
+        })
+        .collect())
+}
+
 /// Replays `journal` against `backing`, restoring every acknowledged write.
 ///
 /// `scratch` must point at `backing.line_bytes()` bytes of scratch space in
@@ -484,79 +628,61 @@ pub fn recover(
     gpu: &ByteRegion,
     scratch: DevAddr,
 ) -> Result<RecoveryReport, BamError> {
+    recover_observed(journal, backing, gpu, scratch, None)
+}
+
+/// [`recover`] with optional span observation: when `recorder` is given, one
+/// [`Stage::RecoveryReplay`] event is emitted per replayed line (timestamps
+/// are recorder steps; `arg` is the line index; `track` is the number of
+/// writes redone into the line).
+///
+/// # Errors
+///
+/// Same conditions as [`recover`].
+pub fn recover_observed(
+    journal: &[u8],
+    backing: &dyn CacheBacking,
+    gpu: &ByteRegion,
+    scratch: DevAddr,
+    recorder: Option<&SpanRecorder>,
+) -> Result<RecoveryReport, BamError> {
     let decoded = decode_records(journal)?;
-    let line_bytes = backing.line_bytes();
+    let scan = scan_records(&decoded, backing.num_lines(), backing.line_bytes())?;
 
     let mut report = RecoveryReport {
         records_scanned: decoded.records.len() as u64,
         torn_tail: decoded.torn_tail,
         journal_bytes: journal.len() as u64,
+        write_records: scan.write_records,
+        intent_records: scan.intent_records,
+        committed_writebacks: scan.committed_writebacks,
         ..RecoveryReport::default()
     };
 
-    // Pass 1: group redo records per line and find, per line, the newest
-    // write LSN a committed write-back proves durable.
-    type LineWrites<'a> = Vec<(u64, u64, &'a [u8])>; // (lsn, offset, payload)
-    let mut writes_by_line: BTreeMap<u64, LineWrites> = BTreeMap::new();
-    let mut intents: HashMap<u64, (u64, u64)> = HashMap::new(); // lsn -> (line, covered)
-    let mut durable_lsn: BTreeMap<u64, u64> = BTreeMap::new();
-    for record in &decoded.records {
-        match record {
-            JournalRecord::Write {
-                lsn,
-                line,
-                offset,
-                payload,
-            } => {
-                report.write_records += 1;
-                let end = offset.checked_add(payload.len() as u64);
-                if *line >= backing.num_lines() || end.is_none_or(|e| e > line_bytes) {
-                    return Err(BamError::JournalCorrupt { lsn: *lsn });
-                }
-                writes_by_line
-                    .entry(*line)
-                    .or_default()
-                    .push((*lsn, *offset, payload.as_slice()));
-            }
-            JournalRecord::WritebackIntent {
-                lsn,
-                line,
-                covered_lsn,
-            } => {
-                report.intent_records += 1;
-                intents.insert(*lsn, (*line, *covered_lsn));
-            }
-            JournalRecord::WritebackCommit {
-                lsn,
-                line,
-                intent_lsn,
-            } => {
-                report.committed_writebacks += 1;
-                let Some(&(intent_line, covered)) = intents.get(intent_lsn) else {
-                    return Err(BamError::JournalCorrupt { lsn: *lsn });
-                };
-                if intent_line != *line {
-                    return Err(BamError::JournalCorrupt { lsn: *lsn });
-                }
-                let entry = durable_lsn.entry(*line).or_insert(0);
-                *entry = (*entry).max(covered);
-            }
-        }
-    }
-
     // Pass 2: redo every write newer than the line's durable horizon, one
     // line at a time, ascending.
-    for (line, writes) in &writes_by_line {
-        let durable = durable_lsn.get(line).copied().unwrap_or(0);
+    for (line, writes) in &scan.writes_by_line {
+        let durable = scan.durable_lsn.get(line).copied().unwrap_or(0);
         let pending: Vec<_> = writes.iter().filter(|(lsn, _, _)| *lsn > durable).collect();
         if pending.is_empty() {
             continue;
         }
+        let start_step = recorder.map(|rec| rec.tick()).unwrap_or(0);
         backing.fetch_line(*line, scratch)?;
         for (_, offset, payload) in &pending {
             gpu.write_bytes(scratch + offset, payload);
         }
         backing.writeback_line(*line, scratch)?;
+        if let Some(rec) = recorder {
+            rec.record(SpanEvent {
+                span: rec.next_span_id(),
+                stage: Stage::RecoveryReplay,
+                start_ns: start_step,
+                end_ns: rec.tick(),
+                track: pending.len() as u32,
+                arg: *line,
+            });
+        }
         report.replayed_writes += pending.len() as u64;
         report.replayed_lines += 1;
     }
@@ -747,6 +873,83 @@ mod tests {
         assert_eq!(
             recover(&j.snapshot(), backing.as_ref(), &gpu, 1024),
             Err(BamError::JournalCorrupt { lsn: 1 })
+        );
+    }
+
+    #[test]
+    fn replay_plan_matches_what_recover_does() {
+        let (_data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        let w = j.append_write(4, 0, &[1; 64]).unwrap(); // covered by commit
+        let i = j.append_writeback_intent(4, w.lsn).unwrap();
+        j.append_writeback_commit(4, i.lsn).unwrap();
+        j.append_write(4, 8, &[2; 4]).unwrap(); // pending on line 4
+        j.append_write(7, 0, &[3; 16]).unwrap(); // pending on line 7
+        let bytes = j.snapshot();
+        let plan = replay_plan(&bytes, 16, 64).unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                LineReplay {
+                    line: 4,
+                    durable_lsn: 1,
+                    pending_writes: 1,
+                    pending_bytes: 4
+                },
+                LineReplay {
+                    line: 7,
+                    durable_lsn: 0,
+                    pending_writes: 1,
+                    pending_bytes: 16
+                },
+            ]
+        );
+        let report = recover(&bytes, backing.as_ref(), &gpu, 1024).unwrap();
+        let planned: u64 = plan.iter().map(|l| l.pending_writes).sum();
+        assert_eq!(report.replayed_writes, planned);
+        assert_eq!(
+            report.replayed_lines,
+            plan.iter().filter(|l| l.pending_writes > 0).count() as u64
+        );
+    }
+
+    #[test]
+    fn observed_recovery_emits_one_replay_span_per_line() {
+        let (_data, gpu, backing) = recovery_rig();
+        let j = CacheJournal::new();
+        j.append_write(2, 0, &[1; 8]).unwrap();
+        j.append_write(2, 8, &[2; 8]).unwrap();
+        j.append_write(9, 0, &[3; 8]).unwrap();
+        let rec = SpanRecorder::new();
+        let report =
+            recover_observed(&j.snapshot(), backing.as_ref(), &gpu, 1024, Some(&rec)).unwrap();
+        assert_eq!(report.replayed_lines, 2);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.stage == Stage::RecoveryReplay));
+        assert_eq!(events[0].arg, 2);
+        assert_eq!(events[0].track, 2, "two writes redone into line 2");
+        assert_eq!(events[1].arg, 9);
+        assert!(events.iter().all(|e| e.end_ns > e.start_ns));
+    }
+
+    #[test]
+    fn recovery_report_display_is_a_one_line_summary() {
+        let report = RecoveryReport {
+            records_scanned: 5,
+            torn_tail: true,
+            write_records: 3,
+            intent_records: 1,
+            committed_writebacks: 1,
+            replayed_writes: 2,
+            replayed_lines: 1,
+            journal_bytes: 321,
+        };
+        let s = report.to_string();
+        assert_eq!(
+            s,
+            "scanned 5 records (3 writes, 1 intents, 1 commits) in 321 journal bytes \
+             (torn tail); replayed 2 writes across 1 lines"
         );
     }
 

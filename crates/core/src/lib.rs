@@ -53,13 +53,17 @@ pub mod system;
 
 pub use array::BamArray;
 pub use backing::{CacheBacking, CrashBacking, MemoryBacking};
+pub use bam_obs::{
+    chrome_trace_json, LatencyHisto, PromWriter, SpanEvent, SpanId, SpanRecorder, SpanSink, Stage,
+};
 pub use cache::{BamCache, LineGuard};
 pub use config::BamConfig;
 pub use crash::{CrashPoint, StepOutcome};
 pub use error::BamError;
 pub use iostack::IoStack;
 pub use journal::{
-    decode_records, recover, CacheJournal, DecodedJournal, JournalRecord, RecoveryReport,
+    decode_records, recover, recover_observed, replay_plan, CacheJournal, DecodedJournal,
+    JournalRecord, LineReplay, RecoveryReport,
 };
 pub use metrics::{BamMetrics, MetricsSnapshot};
 pub use queue::BamQueuePair;

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use bam_gpu_sim::{GpuMemory, GpuSpec};
 use bam_mem::{DevAddr, Pod};
 use bam_nvme_sim::{DataLayout, FaultInjector, SsdArray, StatsSnapshot};
+use bam_obs::{chrome_trace_json, PromWriter, SpanRecorder};
 
 use crate::array::BamArray;
 use crate::backing::{CacheBacking, CrashBacking};
@@ -45,6 +46,8 @@ pub(crate) struct SystemInner {
     journal: Option<Arc<CacheJournal>>,
     /// The injected crash point (when built via `with_crash_point`).
     crash: Option<Arc<CrashPoint>>,
+    /// The installed span recorder (see [`BamSystem::set_span_recorder`]).
+    span_recorder: Mutex<Option<Arc<SpanRecorder>>>,
     scratch: Vec<Mutex<DevAddr>>,
     scratch_rr: AtomicU64,
     dataset_cursor: AtomicU64,
@@ -303,6 +306,7 @@ impl BamSystem {
                 coalescing,
                 journal,
                 crash,
+                span_recorder: Mutex::new(None),
                 scratch,
                 scratch_rr: AtomicU64::new(0),
                 dataset_cursor: AtomicU64::new(0),
@@ -380,6 +384,137 @@ impl BamSystem {
         self.inner.iostack.set_sim_hook(hook);
     }
 
+    /// Installs (or, with `None`, removes) a [`bam_obs::SpanRecorder`] on
+    /// every instrumented subsystem: cache probes, miss fetches and journal
+    /// appends, I/O-stack doorbells, and recovery replays all emit
+    /// [`bam_obs::SpanEvent`]s into it. Timestamps are the recorder's own
+    /// step counter (a virtual clock), so the cost is a few atomics per
+    /// request; with no recorder installed the probes are single-branch
+    /// no-ops.
+    pub fn set_span_recorder(&self, recorder: Option<Arc<SpanRecorder>>) {
+        match &recorder {
+            Some(rec) => {
+                self.inner.iostack.spans().install(rec.clone());
+                if let Some(cache) = &self.inner.cache {
+                    cache.spans().install(rec.clone());
+                }
+            }
+            None => {
+                self.inner.iostack.spans().uninstall();
+                if let Some(cache) = &self.inner.cache {
+                    cache.spans().uninstall();
+                }
+            }
+        }
+        *self.inner.span_recorder.lock() = recorder;
+    }
+
+    /// The installed span recorder, if any.
+    pub fn span_recorder(&self) -> Option<Arc<SpanRecorder>> {
+        self.inner.span_recorder.lock().clone()
+    }
+
+    /// Renders every recorded span as Chrome trace-event JSON (loadable in
+    /// Perfetto or `chrome://tracing`). An empty-but-valid trace when no
+    /// recorder is installed.
+    pub fn span_export(&self) -> String {
+        let events = self
+            .span_recorder()
+            .map(|rec| rec.events())
+            .unwrap_or_default();
+        chrome_trace_json(&events)
+    }
+
+    /// Renders the software metrics in the Prometheus text exposition
+    /// format: every cache / storage / journal counter, the hit-rate and
+    /// I/O-amplification gauges, and the wall-clock fetch and writeback
+    /// latency histograms.
+    pub fn metrics_export(&self) -> String {
+        let snap = self.metrics();
+        let mut w = PromWriter::new();
+        w.counter(
+            "bam_cache_hits_total",
+            "Cache probes that hit a valid line.",
+            snap.cache_hits,
+        );
+        w.counter(
+            "bam_cache_misses_total",
+            "Cache probes that fetched the line from storage.",
+            snap.cache_misses,
+        );
+        w.counter(
+            "bam_cache_evictions_total",
+            "Lines evicted to make room.",
+            snap.cache_evictions,
+        );
+        w.counter(
+            "bam_cache_writebacks_total",
+            "Dirty lines written back to storage.",
+            snap.cache_writebacks,
+        );
+        w.counter(
+            "bam_coalesced_accesses_total",
+            "Accesses satisfied by another lane's probe.",
+            snap.coalesced_accesses,
+        );
+        w.counter(
+            "bam_read_requests_total",
+            "Read commands submitted to storage.",
+            snap.read_requests,
+        );
+        w.counter(
+            "bam_write_requests_total",
+            "Write commands submitted to storage.",
+            snap.write_requests,
+        );
+        w.counter(
+            "bam_bytes_read_total",
+            "Bytes read from storage.",
+            snap.bytes_read,
+        );
+        w.counter(
+            "bam_bytes_written_total",
+            "Bytes written to storage.",
+            snap.bytes_written,
+        );
+        w.counter(
+            "bam_storage_retries_total",
+            "Transient storage failures retried on the fetch path.",
+            snap.storage_retries,
+        );
+        w.counter(
+            "bam_journal_appends_total",
+            "Records appended to the write-ahead journal.",
+            snap.journal_appends,
+        );
+        w.counter(
+            "bam_journal_bytes_total",
+            "Bytes appended to the write-ahead journal.",
+            snap.journal_bytes,
+        );
+        w.gauge(
+            "bam_cache_hit_rate",
+            "Cache hit rate in [0, 1].",
+            snap.hit_rate(),
+        );
+        w.gauge(
+            "bam_io_amplification",
+            "Bytes moved from storage per byte the application requested.",
+            snap.io_amplification(),
+        );
+        w.histogram(
+            "bam_fetch_latency_ns",
+            "Wall-clock cache-miss fetch latency (retry loop included).",
+            &self.inner.metrics.fetch_latency(),
+        );
+        w.histogram(
+            "bam_writeback_latency_ns",
+            "Wall-clock dirty-line writeback latency.",
+            &self.inner.metrics.writeback_latency(),
+        );
+        w.finish()
+    }
+
     /// Total NVMe commands submitted through the BaM queues.
     pub fn total_submissions(&self) -> u64 {
         self.inner.iostack.total_submissions()
@@ -450,8 +585,14 @@ impl BamSystem {
         // lost with the crashed host, and the reboot is behind us.
         let region = self.inner.gpu.region();
         let (_slot_guard, scratch) = self.inner.lock_scratch();
-        let report =
-            journal::recover(journal_bytes, self.inner.iostack.as_ref(), &region, scratch)?;
+        let recorder = self.inner.span_recorder.lock().clone();
+        let report = journal::recover_observed(
+            journal_bytes,
+            self.inner.iostack.as_ref(),
+            &region,
+            scratch,
+            recorder.as_deref(),
+        )?;
         if let Some(cache) = &self.inner.cache {
             cache.reset_after_crash();
         }
@@ -591,6 +732,76 @@ mod tests {
         }
         arr.preload(&(0..4096u64).collect::<Vec<_>>()).unwrap();
         assert_eq!(arr.read(17).unwrap(), 17);
+    }
+
+    #[test]
+    fn span_recorder_traces_the_functional_stack() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let arr = sys.create_array::<u64>(1024).unwrap();
+        arr.preload(&(0..1024u64).collect::<Vec<_>>()).unwrap();
+        let rec = Arc::new(SpanRecorder::new());
+        sys.set_span_recorder(Some(rec.clone()));
+        for i in (0..1024u64).step_by(64) {
+            arr.read(i).unwrap();
+        }
+        let events = rec.events();
+        assert!(!events.is_empty());
+        let has = |stage| events.iter().any(|e| e.stage == stage);
+        assert!(has(bam_obs::Stage::CacheProbe));
+        assert!(has(bam_obs::Stage::MissFetch));
+        assert!(has(bam_obs::Stage::Doorbell));
+        let export = sys.span_export();
+        assert!(export.contains("\"name\":\"cache_probe\""));
+        assert!(export.ends_with("]}\n"));
+        sys.set_span_recorder(None);
+        let before = rec.len();
+        arr.read(0).unwrap();
+        assert_eq!(rec.len(), before, "uninstalled recorder sees nothing");
+        assert_eq!(
+            sys.span_export(),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n",
+            "no recorder exports an empty, valid trace"
+        );
+    }
+
+    #[test]
+    fn recovery_emits_replay_spans_through_the_system() {
+        let cp = Arc::new(CrashPoint::new());
+        let sys = BamSystem::with_crash_point(BamConfig::test_scale(), cp).unwrap();
+        let arr = sys.create_array::<u64>(512).unwrap();
+        arr.preload(&vec![0u64; 512]).unwrap();
+        arr.write(3, 77).unwrap();
+        arr.write(200, 88).unwrap();
+        let rec = Arc::new(SpanRecorder::new());
+        sys.set_span_recorder(Some(rec.clone()));
+        let journal = sys.journal().unwrap().snapshot();
+        let report = sys.recover_from_journal(&journal).unwrap();
+        let replays = rec
+            .events()
+            .iter()
+            .filter(|e| e.stage == bam_obs::Stage::RecoveryReplay)
+            .count() as u64;
+        assert_eq!(replays, report.replayed_lines);
+        assert!(report
+            .to_string()
+            .contains("replayed 2 writes across 2 lines"));
+    }
+
+    #[test]
+    fn metrics_export_is_a_prometheus_exposition() {
+        let sys = BamSystem::new(BamConfig::test_scale()).unwrap();
+        let arr = sys.create_array::<u64>(1024).unwrap();
+        arr.preload(&(0..1024u64).collect::<Vec<_>>()).unwrap();
+        arr.read(0).unwrap();
+        arr.read(0).unwrap();
+        let text = sys.metrics_export();
+        assert!(text.contains("# TYPE bam_cache_hits_total counter"));
+        assert!(text.contains("# TYPE bam_cache_hit_rate gauge"));
+        assert!(text.contains("# TYPE bam_fetch_latency_ns histogram"));
+        assert!(text.contains("bam_fetch_latency_ns_bucket{le=\"+Inf\"}"));
+        let m = sys.metrics();
+        assert!(text.contains(&format!("bam_cache_misses_total {}\n", m.cache_misses)));
+        assert!(text.contains(&format!("bam_read_requests_total {}\n", m.read_requests)));
     }
 
     #[test]

@@ -194,6 +194,10 @@ impl NvmeController {
                         NvmeOpcode::Flush => 0,
                         _ => u64::from(cmd.nlb) * block_bytes,
                     },
+                    lba: match cmd.opcode {
+                        NvmeOpcode::Flush => 0,
+                        _ => cmd.slba,
+                    },
                 };
                 h.on_device_fetch(&ev);
                 (h, ev)

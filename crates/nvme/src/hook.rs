@@ -21,6 +21,9 @@ pub struct IoEvent {
     pub write: bool,
     /// Payload size in bytes.
     pub bytes: u64,
+    /// Starting LBA of the command (device-local; 0 for flushes). Lets span
+    /// recorders correlate I/O events with the cache line they serviced.
+    pub lba: u64,
 }
 
 /// Observer of the submission→fetch→completion pipeline.
@@ -64,6 +67,7 @@ mod tests {
             queue: 1,
             write: false,
             bytes: 512,
+            lba: 0,
         };
         let hook = NopSimHook;
         hook.on_submit(&ev);
@@ -85,6 +89,7 @@ mod tests {
             queue: 3,
             write: true,
             bytes: 4096,
+            lba: 8,
         };
         h.on_submit(&ev);
         h.on_device_fetch(&ev); // default no-op

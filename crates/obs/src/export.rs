@@ -1,0 +1,161 @@
+//! Trace and metrics exporters.
+//!
+//! Both exporters render with pure integer math (no float formatting of
+//! computed values beyond `Debug`), so for a fixed event/metric set the
+//! output is byte-identical across runs — the property the CI determinism
+//! diff leans on.
+
+use crate::histo::LatencyHisto;
+use crate::span::SpanEvent;
+
+/// Formats virtual nanoseconds as the microsecond decimal Chrome expects,
+/// without going through floating point: `12345` ns → `"12.345"`.
+fn us_decimal(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders span events as Chrome trace-event JSON (the "JSON Array Format"
+/// with complete `"ph":"X"` events), loadable in Perfetto or
+/// `chrome://tracing`. Events keep recording order; `track` becomes the
+/// thread id so each queue pair / device gets its own row.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"span\":{},\"arg\":{}}}}}",
+            e.stage.label(),
+            us_decimal(e.start_ns),
+            us_decimal(e.end_ns.saturating_sub(e.start_ns)),
+            e.track,
+            e.span.0,
+            e.arg,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Incremental Prometheus text-exposition writer.
+///
+/// The caller decides the metric families; this type only guarantees the
+/// format (HELP/TYPE headers, label rendering, cumulative `le` buckets with
+/// a closing `+Inf`). Values render via `Debug`, matching the repo's JSON
+/// convention that integral floats keep their `.0`.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// A monotone counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {value:?}\n"));
+    }
+
+    /// A histogram family from a [`LatencyHisto`]: one `_bucket` series per
+    /// non-empty bucket (upper bounds in nanoseconds), plus `+Inf`, `_sum`
+    /// and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, histo: &LatencyHisto) {
+        self.header(name, help, "histogram");
+        for (upper, cum) in histo.cumulative_buckets() {
+            self.out
+                .push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+        }
+        self.out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            histo.count(),
+            histo.sum_ns(),
+            histo.count(),
+        ));
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, Stage};
+
+    #[test]
+    fn chrome_trace_renders_complete_events() {
+        let events = vec![
+            SpanEvent {
+                span: SpanId(7),
+                stage: Stage::Media,
+                start_ns: 1_500,
+                end_ns: 12_345,
+                track: 3,
+                arg: 42,
+            },
+            SpanEvent {
+                span: SpanId(7),
+                stage: Stage::Completion,
+                start_ns: 12_345,
+                end_ns: 12_400,
+                track: 3,
+                arg: 0,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains("\"name\":\"media\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":10.845"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"span\":7"));
+        // Deterministic: same events, same bytes.
+        assert_eq!(json, chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut w = PromWriter::new();
+        w.counter("bam_cache_hits_total", "Cache hits.", 12);
+        w.gauge("bam_hit_rate", "Hit rate.", 0.75);
+        let histo = LatencyHisto::from_samples([10u64, 10, 2_000]);
+        w.histogram("bam_fetch_latency_ns", "Fetch latency.", &histo);
+        let text = w.finish();
+        assert!(text.contains("# TYPE bam_cache_hits_total counter"));
+        assert!(text.contains("bam_cache_hits_total 12\n"));
+        assert!(text.contains("bam_hit_rate 0.75\n"));
+        assert!(text.contains("bam_fetch_latency_ns_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("bam_fetch_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("bam_fetch_latency_ns_sum 2020\n"));
+        assert!(text.contains("bam_fetch_latency_ns_count 3\n"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Log-linear latency histogram.
+//!
+//! Values below [`LINEAR_MAX`] are recorded exactly (one bucket per value);
+//! above it each power-of-two octave is split into [`SUBBUCKETS`] linear
+//! sub-buckets, bounding the relative quantisation error of any recorded
+//! value by `1 / SUBBUCKETS` (≈ 1.6%) and the error of the reported bucket
+//! midpoint by half that. The layout is the classic HdrHistogram scheme
+//! specialised to `u64` nanoseconds with no dynamic resizing: every
+//! histogram owns the same [`HISTO_BUCKETS`] counters, so merging is a
+//! plain element-wise sum and equality is structural.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power-of-two octave.
+const SUBBUCKETS: u64 = 64;
+/// Values strictly below this are exact (identity-bucketed).
+const LINEAR_MAX: u64 = SUBBUCKETS;
+/// Total bucket count: 64 exact buckets + 58 octaves × 64 sub-buckets.
+pub const HISTO_BUCKETS: usize = (SUBBUCKETS + (63 - 6) * SUBBUCKETS + SUBBUCKETS) as usize;
+
+/// Bucket index for a value. Exact below `LINEAR_MAX`; log-linear above.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    // Highest set bit h >= 6; the octave [2^h, 2^(h+1)) is cut into 64
+    // sub-buckets of width 2^(h-6).
+    let h = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (h - 6)) - SUBBUCKETS;
+    ((h - 5) * SUBBUCKETS + sub) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBBUCKETS {
+        return idx;
+    }
+    let h = (idx >> 6) + 5;
+    let sub = idx & 63;
+    (1u64 << h) + sub * (1u64 << (h - 6))
+}
+
+/// Width of a bucket (1 for the exact region).
+fn bucket_width(idx: usize) -> u64 {
+    if (idx as u64) < 2 * SUBBUCKETS {
+        1
+    } else {
+        1u64 << ((idx as u64 >> 6) + 5 - 6)
+    }
+}
+
+/// A mergeable, constant-size latency histogram over `u64` nanoseconds.
+///
+/// `count`, `sum`, `min` and `max` are tracked exactly; quantiles are
+/// answered from the bucket midpoint (clamped to the observed `[min, max]`
+/// range), so `value_at_quantile` is within ~0.8% of the exact
+/// nearest-rank answer.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LatencyHisto {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for LatencyHisto {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts == other.counts
+    }
+}
+
+impl Eq for LatencyHisto {}
+
+impl std::fmt::Debug for LatencyHisto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHisto")
+            .field("count", &self.count)
+            .field("mean_ns", &self.mean_ns())
+            .field("min_ns", &self.min_ns())
+            .field("max_ns", &self.max_ns())
+            .field("p50_ns", &self.value_at_quantile(0.50))
+            .field("p99_ns", &self.value_at_quantile(0.99))
+            .finish()
+    }
+}
+
+impl LatencyHisto {
+    /// An empty histogram with all [`HISTO_BUCKETS`] counters zeroed.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HISTO_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of nanosecond samples.
+    pub fn from_samples<I: IntoIterator<Item = u64>>(samples: I) -> Self {
+        let mut h = Self::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Element-wise merge: afterwards `self` equals the histogram of the
+    /// concatenated sample streams.
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), answered from the bucket
+    /// midpoint and clamped to the observed `[min, max]`. Returns 0 on an
+    /// empty histogram rather than panicking — zero-sample inputs are a
+    /// legitimate state (e.g. a tenant that issued no requests).
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lower(idx) + bucket_width(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(inclusive_upper_bound_ns,
+    /// cumulative_count)` pairs, the shape Prometheus histogram series want.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.counts.iter().enumerate().filter_map(move |(idx, &c)| {
+            if c == 0 {
+                return None;
+            }
+            cum += c;
+            Some((bucket_lower(idx) + (bucket_width(idx) - 1), cum))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHisto::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        for v in 0..LINEAR_MAX {
+            let q = (v + 1) as f64 / LINEAR_MAX as f64;
+            assert_eq!(h.value_at_quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut probes: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                probes.push((1u64 << exp).saturating_add(off << exp.saturating_sub(7)));
+            }
+        }
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < HISTO_BUCKETS, "idx {idx} out of range for {v}");
+            assert!(idx >= last, "index must not decrease ({v})");
+            assert!(bucket_lower(idx) <= v);
+            assert!(v - bucket_lower(idx) < bucket_width(idx), "v {v} idx {idx}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTO_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_bucket_error() {
+        let samples: Vec<u64> = (0..10_000u64).map(|i| (i * i) % 9_999_991 + 1).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = LatencyHisto::from_samples(samples.iter().copied());
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = h.value_at_quantile(q) as f64;
+            assert!(
+                (approx - exact).abs() <= exact / SUBBUCKETS as f64 + 1.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a: Vec<u64> = (0..500u64).map(|i| i * 37 + 5).collect();
+        let b: Vec<u64> = (0..700u64).map(|i| i * 101 + 60_000).collect();
+        let mut ha = LatencyHisto::from_samples(a.iter().copied());
+        let hb = LatencyHisto::from_samples(b.iter().copied());
+        ha.merge(&hb);
+        let hc = LatencyHisto::from_samples(a.into_iter().chain(b));
+        assert_eq!(ha, hc);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHisto::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.cumulative_buckets().count(), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total_count() {
+        let h = LatencyHisto::from_samples([1u64, 100, 10_000, 1_000_000]);
+        let buckets: Vec<_> = h.cumulative_buckets().collect();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets.last().unwrap().1, 4);
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Observability layer for the BaM reproduction.
+//!
+//! Three pieces, shared by the functional stack (`bam-core`) and the
+//! discrete-event simulator (`bam-sim`):
+//!
+//! * [`LatencyHisto`] — a log-linear HDR-style histogram with ≤ ~1.6%
+//!   relative bucket error, constant size, mergeable, and cheap to record
+//!   into. It replaces exact sample vectors wherever only percentiles are
+//!   needed.
+//! * [`SpanRecorder`] / [`SpanEvent`] — a bounded ring buffer of typed
+//!   per-request stage spans. Timestamps are virtual (sim nanoseconds or
+//!   functional-layer step counters), so traces are bit-identical per seed.
+//! * Exporters — Prometheus text exposition ([`PromWriter`]) and Chrome
+//!   trace-event JSON ([`chrome_trace_json`], loadable in Perfetto or
+//!   `chrome://tracing`).
+//!
+//! The crate deliberately depends on nothing but the serde markers: both
+//! stack layers and the bench harness can pull it in without cycles.
+
+mod export;
+mod histo;
+mod span;
+
+pub use export::{chrome_trace_json, PromWriter};
+pub use histo::{LatencyHisto, HISTO_BUCKETS};
+pub use span::{SpanEvent, SpanId, SpanRecorder, SpanSink, Stage, StageBreakdown, STAGE_COUNT};

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use bam_obs::{SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -207,6 +208,8 @@ struct TenantRt {
     first_arrival: Option<SimTime>,
     /// When the tenant's last request completed.
     last_completion: SimTime,
+    /// Per-stage dwell-time histograms over the tenant's requests.
+    stages: StageBreakdown,
 }
 
 impl TenantRt {
@@ -219,8 +222,44 @@ impl TenantRt {
             latencies: Vec::with_capacity(count as usize),
             first_arrival: None,
             last_completion: SimTime::ZERO,
+            stages: StageBreakdown::new(),
         }
     }
+}
+
+/// Closes one pipeline stage of request `req` at `now`: the dwell since the
+/// request's previous stage boundary lands in its tenant's
+/// [`StageBreakdown`] and (when tracing) in the recorder as a [`SpanEvent`]
+/// on the request's queue-pair track. Dwell times tile the request's life
+/// exactly — their sum is the end-to-end latency.
+#[allow(clippy::too_many_arguments)]
+fn mark_stage(
+    req: u32,
+    stage: Stage,
+    now: SimTime,
+    bytes: u64,
+    last_mark: &mut [SimTime],
+    tenants: &mut [TenantRt],
+    tenant_of: &[u32],
+    qp_of: &[u32],
+    recorder: Option<&SpanRecorder>,
+) {
+    let start = last_mark[req as usize];
+    let dwell = now - start;
+    tenants[tenant_of[req as usize] as usize]
+        .stages
+        .record(stage, dwell);
+    if let Some(rec) = recorder {
+        rec.record(SpanEvent {
+            span: SpanId(u64::from(req)),
+            stage,
+            start_ns: start.as_ns(),
+            end_ns: now.as_ns(),
+            track: qp_of[req as usize],
+            arg: bytes,
+        });
+    }
+    last_mark[req as usize] = now;
 }
 
 /// What the shared event loop hands back to its wrappers.
@@ -247,6 +286,7 @@ fn run_core(
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
     tenants: &mut [TenantRt],
+    recorder: Option<&SpanRecorder>,
 ) -> CoreOutcome {
     let n = requests.len() as u64;
     let total_qps = config.total_queue_pairs();
@@ -268,6 +308,8 @@ fn run_core(
         |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
 
     let mut arrive_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
+    // Last stage boundary of each request; dwell times are measured from it.
+    let mut last_mark: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
     let mut read_latencies: Vec<u64> = Vec::new();
     let mut write_latencies: Vec<u64> = Vec::new();
     let mut completed: u64 = 0;
@@ -280,12 +322,31 @@ fn run_core(
         events.schedule(at, Event::Arrive { req });
     }
 
+    // Closes one stage of `req` at the current instant (dwell measured from
+    // the request's previous boundary).
+    macro_rules! mark {
+        ($req:expr, $stage:expr) => {
+            mark_stage(
+                $req,
+                $stage,
+                now,
+                requests[$req as usize].bytes,
+                &mut last_mark,
+                tenants,
+                tenant_of,
+                qp_of,
+                recorder,
+            )
+        };
+    }
+
     while let Some((at, event)) = events.pop() {
         debug_assert!(at >= now, "time went backwards");
         now = at;
         match event {
             Event::Arrive { req } => {
                 arrive_at[req as usize] = now;
+                last_mark[req as usize] = now;
                 let t = &mut tenants[tenant_of[req as usize] as usize];
                 t.first_arrival.get_or_insert(now);
                 depth += 1;
@@ -307,6 +368,7 @@ fn run_core(
                 }
             }
             Event::JournalFlushed { req } => {
+                mark!(req, Stage::JournalFlush);
                 let qp = qp_of[req as usize] as usize;
                 if queue_pairs[qp].admit(req) {
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
@@ -323,9 +385,11 @@ fn run_core(
                 meters[qp].update(now, queue_pairs[qp].occupancy());
             }
             Event::QpForwarded { req } => {
+                mark!(req, Stage::QueuePair);
                 events.schedule(now + p.ctrl_fetch_ns, Event::FetchDone { req });
             }
             Event::FetchDone { req } => {
+                mark!(req, Stage::CtrlFetch);
                 let dev = device_of(req) as usize;
                 if media[dev].admit(req) {
                     let desc = &requests[req as usize];
@@ -338,6 +402,7 @@ fn run_core(
                 }
             }
             Event::MediaDone { req } => {
+                mark!(req, Stage::Media);
                 let dev = device_of(req) as usize;
                 if let Some(next) = media[dev].release() {
                     let desc = &requests[next as usize];
@@ -356,6 +421,7 @@ fn run_core(
                 }
             }
             Event::SsdLinkDone { req } => {
+                mark!(req, Stage::SsdLink);
                 let dev = device_of(req) as usize;
                 if let Some(next) = ssd_links[dev].release() {
                     events.schedule(
@@ -371,6 +437,7 @@ fn run_core(
                 }
             }
             Event::GpuLinkDone { req } => {
+                mark!(req, Stage::GpuLink);
                 if let Some(next) = gpu_link.release() {
                     events.schedule(
                         now + gpu_link_ns(&requests[next as usize]),
@@ -380,6 +447,7 @@ fn run_core(
                 events.schedule(now + p.completion_ns, Event::Complete { req });
             }
             Event::Complete { req } => {
+                mark!(req, Stage::Completion);
                 let t = &mut tenants[tenant_of[req as usize] as usize];
                 let latency = now - arrive_at[req as usize];
                 t.latencies.push(latency);
@@ -431,6 +499,28 @@ fn run_core(
 /// Panics if `requests` is empty, the configuration has no queue pairs, or an
 /// open-loop rate is not positive.
 pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
+    run_with(config, workload, requests, None)
+}
+
+/// [`run`] with span tracing: every request's stage intervals are recorded
+/// into `recorder` as [`SpanEvent`]s with virtual-nanosecond timestamps.
+/// Tracing changes no simulation state — the report is identical to the
+/// untraced run's.
+pub fn run_traced(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    recorder: &SpanRecorder,
+) -> SimReport {
+    run_with(config, workload, requests, Some(recorder))
+}
+
+fn run_with(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    recorder: Option<&SpanRecorder>,
+) -> SimReport {
     assert!(!requests.is_empty(), "nothing to simulate");
     assert!(
         config.total_queue_pairs() > 0,
@@ -484,6 +574,7 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
         &qp_of,
         &arrivals,
         &mut tenants,
+        recorder,
     );
     let [rt] = tenants;
     SimReport::build(
@@ -494,6 +585,7 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
         outcome.end,
         outcome.occupancy_mean,
         outcome.occupancy_max,
+        rt.stages,
     )
 }
 
@@ -509,13 +601,33 @@ pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> 
 ///
 /// # Panics
 ///
-/// Panics if `tenants` is empty, ids repeat, any tenant has zero requests,
-/// or ([`QueuePairPolicy::WeightedFair`] only) there are fewer queue pairs
-/// than tenants.
+/// Panics if `tenants` is empty, ids repeat, or
+/// ([`QueuePairPolicy::WeightedFair`] only) there are fewer queue pairs than
+/// tenants. A tenant with zero requests is legal: it contributes nothing to
+/// the run and gets an all-zero summary.
 pub fn run_tenants(
     config: &SimConfig,
     tenants: &[TenantSpec],
     policy: QueuePairPolicy,
+) -> MultiTenantReport {
+    run_tenants_with(config, tenants, policy, None)
+}
+
+/// [`run_tenants`] with span tracing into `recorder` (see [`run_traced`]).
+pub fn run_tenants_traced(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    recorder: &SpanRecorder,
+) -> MultiTenantReport {
+    run_tenants_with(config, tenants, policy, Some(recorder))
+}
+
+fn run_tenants_with(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    recorder: Option<&SpanRecorder>,
 ) -> MultiTenantReport {
     assert!(!tenants.is_empty(), "no tenants to simulate");
     assert!(
@@ -523,7 +635,6 @@ pub fn run_tenants(
         "need at least one queue pair"
     );
     for (i, t) in tenants.iter().enumerate() {
-        assert!(t.requests > 0, "tenant {} has no requests", t.name);
         assert!(
             tenants[..i].iter().all(|u| u.id != t.id),
             "duplicate tenant id {}",
@@ -590,14 +701,16 @@ pub fn run_tenants(
         &qp_of,
         &superposition.arrivals,
         &mut rts,
+        recorder,
     );
 
     let mut all_latencies: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut overall_stages = StageBreakdown::new();
     let mut summaries: Vec<TenantSummary> = Vec::with_capacity(tenants.len());
-    for ((t, mut rt), &share) in tenants.iter().zip(rts).zip(&shares) {
+    for ((t, rt), &share) in tenants.iter().zip(rts).zip(&shares) {
         all_latencies.extend_from_slice(&rt.latencies);
-        rt.latencies.sort_unstable();
-        let sorted = rt.latencies;
+        overall_stages.merge(&rt.stages);
+        let histo = bam_obs::LatencyHisto::from_samples(rt.latencies);
         let first_arrival = rt.first_arrival.unwrap_or(SimTime::ZERO);
         let span_s = (rt.last_completion - first_arrival) as f64 / 1e9;
         summaries.push(TenantSummary {
@@ -605,15 +718,16 @@ pub fn run_tenants(
             name: t.name.clone(),
             weight: t.weight,
             queue_pairs: share,
-            latency: crate::report::LatencySummary::from_sorted_ns(&sorted),
-            completed: sorted.len() as u64,
+            latency: crate::report::LatencySummary::from_histo(&histo),
+            completed: histo.count(),
             throughput_per_s: if span_s > 0.0 {
-                sorted.len() as f64 / span_s
+                histo.count() as f64 / span_s
             } else {
                 0.0
             },
             first_arrival_s: first_arrival.as_secs_f64(),
             last_completion_s: rt.last_completion.as_secs_f64(),
+            stages: rt.stages,
         });
     }
     MultiTenantReport {
@@ -625,6 +739,7 @@ pub fn run_tenants(
             outcome.end,
             outcome.occupancy_mean,
             outcome.occupancy_max,
+            overall_stages,
         ),
         tenants: summaries,
     }
@@ -949,6 +1064,75 @@ mod tests {
         let a = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
         let b = run(&zeroed, Workload::ClosedLoop { in_flight: 256 }, &reqs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stage_dwells_tile_every_request_latency() {
+        // The breakdown must attribute (well over) 95% of each request's
+        // end-to-end latency to named stages; by construction the dwell
+        // times tile the request's life, so the sums agree exactly.
+        let cfg = optane_config(2, 4, 4096, 31);
+        let cfg = SimConfig {
+            pipeline: cfg.pipeline.with_journal_flush(48),
+            ..cfg
+        };
+        let reqs = mixed_requests(&cfg, 5_000, 1_500);
+        let report = run(&cfg, Workload::ClosedLoop { in_flight: 128 }, &reqs);
+        let total_latency_ns: u64 = report.sorted_latencies_ns.iter().sum();
+        assert_eq!(report.stages.total_ns(), total_latency_ns);
+        // Every pipeline stage saw every request; journal flush only writes.
+        for stage in [
+            Stage::QueuePair,
+            Stage::CtrlFetch,
+            Stage::Media,
+            Stage::SsdLink,
+            Stage::GpuLink,
+            Stage::Completion,
+        ] {
+            assert_eq!(report.stages.histo(stage).count(), 5_000, "{stage:?}");
+        }
+        assert_eq!(report.stages.histo(Stage::JournalFlush).count(), 1_500);
+        assert!(report.stages.histo(Stage::CacheProbe).is_empty());
+    }
+
+    #[test]
+    fn tracing_changes_nothing_and_is_deterministic() {
+        let cfg = optane_config(2, 8, 4096, 32);
+        let reqs = mixed_requests(&cfg, 3_000, 600);
+        let plain = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        let rec_a = SpanRecorder::with_capacity(1 << 20);
+        let traced = run_traced(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs, &rec_a);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let rec_b = SpanRecorder::with_capacity(1 << 20);
+        run_traced(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs, &rec_b);
+        assert_eq!(
+            rec_a.events(),
+            rec_b.events(),
+            "traces must be bit-identical"
+        );
+        assert_eq!(rec_a.dropped(), 0);
+        // 6 pipeline stages per request (journalling is off in this config).
+        assert_eq!(rec_a.len(), 3_000 * 6);
+        assert_eq!(
+            bam_obs::chrome_trace_json(&rec_a.events()),
+            bam_obs::chrome_trace_json(&rec_b.events())
+        );
+    }
+
+    #[test]
+    fn zero_request_tenant_is_legal_and_zeroed() {
+        let cfg = optane_config(4, 2, 4096, 33);
+        let tenants = [steady(0, 100.0e3, 2_000), steady(1, 100.0e3, 0)];
+        let report = run_tenants(&cfg, &tenants, QueuePairPolicy::Shared);
+        assert_eq!(report.overall.completed, 2_000);
+        let idle = report.tenant(1).unwrap();
+        assert_eq!(idle.completed, 0);
+        assert_eq!(idle.latency, crate::report::LatencySummary::default());
+        assert_eq!(idle.throughput_per_s, 0.0);
+        assert!(idle.stages.is_empty());
+        // Its interference ratio is a NaN-free sentinel, not a panic.
+        let ratio = crate::report::interference_ratio(idle.latency.p99_us, idle.latency.p99_us);
+        assert_eq!(ratio, 1.0);
     }
 
     #[test]

@@ -55,9 +55,15 @@ pub mod report;
 pub mod tenant;
 pub mod trace;
 
+pub use bam_obs::{
+    chrome_trace_json, LatencyHisto, SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown,
+};
 pub use clock::SimTime;
 pub use dist::{LatencyDist, Mmpp2, MmppDwellStats};
-pub use engine::{run, run_tenants, uniform_reads, RequestDesc, SimConfig, Workload};
+pub use engine::{
+    run, run_tenants, run_tenants_traced, run_traced, uniform_reads, RequestDesc, SimConfig,
+    Workload,
+};
 pub use pipeline::{fair_shares, tail_sigma, PipelineParams, QueuePairPolicy};
 pub use report::{
     interference_ratio, DepthTimeline, LatencySummary, MultiTenantReport, SimReport, TenantSummary,

@@ -1,11 +1,15 @@
 //! Run results: latency percentiles, in-flight-depth timelines, queue
-//! occupancy, and the Little's-law cross-check.
+//! occupancy, per-stage dwell breakdowns, and the Little's-law cross-check.
 
+use bam_obs::{LatencyHisto, StageBreakdown};
 use serde::{Deserialize, Serialize};
 
 use crate::clock::SimTime;
 
 /// Summary statistics over the per-request latency samples of a run.
+///
+/// Percentiles are answered from a [`LatencyHisto`] (log-linear buckets,
+/// ≤ ~1.6% relative error); `count`, `mean_us` and `max_us` stay exact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Number of completed requests.
@@ -24,29 +28,21 @@ pub struct LatencySummary {
     pub max_us: f64,
 }
 
-/// Percentile over an ascending-sorted slice (nearest-rank method).
-fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1] as f64
-}
-
 impl LatencySummary {
-    pub(crate) fn from_sorted_ns(sorted: &[u64]) -> Self {
-        if sorted.is_empty() {
+    /// Summarises a histogram of nanosecond samples. Empty histograms give
+    /// the all-zero default — zero-request inputs are legal, not a panic.
+    pub fn from_histo(histo: &LatencyHisto) -> Self {
+        if histo.is_empty() {
             return Self::default();
         }
-        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
         Self {
-            count: sorted.len() as u64,
-            mean_us: sum as f64 / sorted.len() as f64 / 1e3,
-            p50_us: percentile_ns(sorted, 0.50) / 1e3,
-            p95_us: percentile_ns(sorted, 0.95) / 1e3,
-            p99_us: percentile_ns(sorted, 0.99) / 1e3,
-            p999_us: percentile_ns(sorted, 0.999) / 1e3,
-            max_us: *sorted.last().unwrap() as f64 / 1e3,
+            count: histo.count(),
+            mean_us: histo.mean_ns() / 1e3,
+            p50_us: histo.value_at_quantile(0.50) as f64 / 1e3,
+            p95_us: histo.value_at_quantile(0.95) as f64 / 1e3,
+            p99_us: histo.value_at_quantile(0.99) as f64 / 1e3,
+            p999_us: histo.value_at_quantile(0.999) as f64 / 1e3,
+            max_us: histo.max_ns() as f64 / 1e3,
         }
     }
 }
@@ -148,26 +144,31 @@ pub struct SimReport {
     pub write_latency: LatencySummary,
     /// Ascending per-request latencies in nanoseconds (for CDFs).
     pub sorted_latencies_ns: Vec<u64>,
+    /// End-to-end latency histogram over all completed requests.
+    pub histogram: LatencyHisto,
+    /// Per-stage dwell-time histograms: where each request's latency went.
+    pub stages: StageBreakdown,
 }
 
 impl SimReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         mut latencies_ns: Vec<u64>,
-        mut read_latencies_ns: Vec<u64>,
-        mut write_latencies_ns: Vec<u64>,
+        read_latencies_ns: Vec<u64>,
+        write_latencies_ns: Vec<u64>,
         mut depth: DepthTimeline,
         end: SimTime,
         queue_occupancy_mean: f64,
         queue_occupancy_max: u64,
+        stages: StageBreakdown,
     ) -> Self {
         latencies_ns.sort_unstable();
-        read_latencies_ns.sort_unstable();
-        write_latencies_ns.sort_unstable();
         depth.close(end);
         let sim_time_s = end.as_secs_f64();
         let completed = latencies_ns.len() as u64;
+        let histogram = LatencyHisto::from_samples(latencies_ns.iter().copied());
         Self {
-            latency: LatencySummary::from_sorted_ns(&latencies_ns),
+            latency: LatencySummary::from_histo(&histogram),
             completed,
             sim_time_s,
             throughput_per_s: if sim_time_s > 0.0 {
@@ -178,15 +179,22 @@ impl SimReport {
             depth,
             queue_occupancy_mean,
             queue_occupancy_max,
-            read_latency: LatencySummary::from_sorted_ns(&read_latencies_ns),
-            write_latency: LatencySummary::from_sorted_ns(&write_latencies_ns),
+            read_latency: LatencySummary::from_histo(&LatencyHisto::from_samples(
+                read_latencies_ns,
+            )),
+            write_latency: LatencySummary::from_histo(&LatencyHisto::from_samples(
+                write_latencies_ns,
+            )),
             sorted_latencies_ns: latencies_ns,
+            histogram,
+            stages,
         }
     }
 
-    /// Latency at quantile `q` (`0 < q <= 1`) in microseconds.
+    /// Latency at quantile `q` (`0 < q <= 1`) in microseconds, answered
+    /// from the run's histogram (≤ ~1.6% relative bucket error).
     pub fn latency_percentile_us(&self, q: f64) -> f64 {
-        percentile_ns(&self.sorted_latencies_ns, q) / 1e3
+        self.histogram.value_at_quantile(q) as f64 / 1e3
     }
 
     /// The Little's-law reading of this run: `throughput × mean latency`,
@@ -220,6 +228,8 @@ pub struct TenantSummary {
     pub first_arrival_s: f64,
     /// When the tenant's last request completed, in seconds.
     pub last_completion_s: f64,
+    /// Per-stage dwell-time histograms over the tenant's own requests.
+    pub stages: StageBreakdown,
 }
 
 /// Everything a multi-tenant simulation run produces: the merged view plus
@@ -243,9 +253,19 @@ impl MultiTenantReport {
 /// The interference metric: how much a tenant's co-run p99 inflated over its
 /// solo p99 under the same configuration and policy (1.0 = perfect
 /// isolation; 2.0 = the neighbours doubled its tail).
+///
+/// Empty-sample inputs are guarded NaN-free: a tenant with no solo baseline
+/// and no co-run tail (zero requests everywhere) reads as perfect isolation
+/// (`1.0`); a tenant with co-run samples but no baseline reads as infinite
+/// inflation (`f64::INFINITY`) so the anomaly stays visible in tables and
+/// JSON instead of poisoning comparisons the way NaN does.
 pub fn interference_ratio(corun_p99_us: f64, solo_p99_us: f64) -> f64 {
     if solo_p99_us <= 0.0 {
-        return f64::NAN;
+        return if corun_p99_us <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
     }
     corun_p99_us / solo_p99_us
 }
@@ -257,12 +277,14 @@ mod tests {
     #[test]
     fn summary_percentiles_are_ordered() {
         let ns: Vec<u64> = (1..=1000).map(|i| i * 1_000).collect();
-        let s = LatencySummary::from_sorted_ns(&ns);
+        let s = LatencySummary::from_histo(&LatencyHisto::from_samples(ns));
         assert_eq!(s.count, 1000);
-        assert!((s.p50_us - 500.0).abs() < 1.0);
-        assert!((s.p95_us - 950.0).abs() < 1.0);
-        assert!((s.p99_us - 990.0).abs() < 1.0);
-        assert!((s.p999_us - 999.0).abs() < 1.0);
+        // Histogram-backed percentiles are within the bucket error (~2%).
+        assert!((s.p50_us / 500.0 - 1.0).abs() < 0.02, "{}", s.p50_us);
+        assert!((s.p95_us / 950.0 - 1.0).abs() < 0.02, "{}", s.p95_us);
+        assert!((s.p99_us / 990.0 - 1.0).abs() < 0.02, "{}", s.p99_us);
+        assert!((s.p999_us / 999.0 - 1.0).abs() < 0.02, "{}", s.p999_us);
+        // Max stays exact.
         assert_eq!(s.max_us, 1000.0);
         assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.p999_us);
     }
@@ -270,7 +292,7 @@ mod tests {
     #[test]
     fn empty_summary_is_zeroed() {
         assert_eq!(
-            LatencySummary::from_sorted_ns(&[]),
+            LatencySummary::from_histo(&LatencyHisto::new()),
             LatencySummary::default()
         );
     }
@@ -306,7 +328,12 @@ mod tests {
     fn interference_is_a_p99_ratio_with_guarded_zero() {
         assert!((interference_ratio(22.0, 11.0) - 2.0).abs() < 1e-12);
         assert!((interference_ratio(11.0, 11.0) - 1.0).abs() < 1e-12);
-        assert!(interference_ratio(11.0, 0.0).is_nan());
+        // Empty-sample guards are NaN-free: no baseline and no co-run tail
+        // reads as perfect isolation; a co-run tail with no baseline is an
+        // explicit infinity, never NaN.
+        assert_eq!(interference_ratio(0.0, 0.0), 1.0);
+        assert_eq!(interference_ratio(11.0, 0.0), f64::INFINITY);
+        assert!(!interference_ratio(0.0, 11.0).is_nan());
     }
 
     #[test]
@@ -321,6 +348,7 @@ mod tests {
             SimTime::from_us(1000.0),
             1.0,
             2,
+            StageBreakdown::new(),
         );
         assert_eq!(r.completed, 100);
         assert!((r.throughput_per_s - 100.0 / 1e-3).abs() < 1e-6);

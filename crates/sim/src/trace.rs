@@ -111,6 +111,7 @@ mod tests {
             queue,
             write,
             bytes,
+            lba: 0,
         }
     }
 

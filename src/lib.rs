@@ -11,6 +11,7 @@ pub use bam_core as core;
 pub use bam_gpu_sim as gpu;
 pub use bam_mem as mem;
 pub use bam_nvme_sim as nvme;
+pub use bam_obs as obs;
 pub use bam_pcie as pcie;
 pub use bam_sim as sim;
 pub use bam_timing as timing;

@@ -15,6 +15,7 @@ use bam::gpu::warp::{ballot, groups, match_any, WARP_SIZE};
 use bam::gpu::{GpuExecutor, GpuSpec};
 use bam::mem::{BumpAllocator, ByteRegion};
 use bam::nvme::{NvmeCommand, NvmeCompletion, SsdDevice, SsdSpec};
+use bam::obs::LatencyHisto;
 use bam::workloads::graph::{bfs_bam, bfs_reference, upload_edge_list, CsrGraph};
 
 proptest! {
@@ -68,6 +69,48 @@ proptest! {
         for (u, v) in &edges {
             prop_assert!(g.neighbors(*u).contains(v), "edge ({u},{v}) lost");
         }
+    }
+
+    /// The log-linear histogram's percentiles stay within one bucket width
+    /// (~2% relative above the linear range) of the exact nearest-rank
+    /// percentile, on arbitrary samples spanning nine decades.
+    #[test]
+    fn histo_quantiles_match_exact_within_bucket_error(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..500),
+        qs in prop::collection::vec(0u64..1001, 1..8),
+    ) {
+        let histo = LatencyHisto::from_samples(samples.iter().copied());
+        prop_assert_eq!(histo.count(), samples.len() as u64);
+        prop_assert_eq!(histo.sum_ns(), samples.iter().sum::<u64>());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for qn in qs {
+            let q = qn as f64 / 1000.0;
+            // Exact nearest-rank percentile over the sorted samples.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = histo.value_at_quantile(q);
+            // Bucket width at the exact value: 1 in the linear range, else
+            // 1/64 of the value's power-of-two range (~2 values relative).
+            let tolerance = (exact / 64).max(1);
+            prop_assert!(
+                approx.abs_diff(exact) <= tolerance,
+                "q={q}: approx {approx} vs exact {exact} (tolerance {tolerance})"
+            );
+            prop_assert!(approx >= histo.min_ns() && approx <= histo.max_ns());
+        }
+    }
+
+    /// Merging histograms is exactly recording the concatenated samples.
+    #[test]
+    fn histo_merge_equals_concatenation(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..300),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..300),
+    ) {
+        let mut merged = LatencyHisto::from_samples(a.iter().copied());
+        merged.merge(&LatencyHisto::from_samples(b.iter().copied()));
+        let concat = LatencyHisto::from_samples(a.iter().chain(&b).copied());
+        prop_assert_eq!(merged, concat);
     }
 }
 
