@@ -4,15 +4,18 @@
 //! enabled, 3:1 read/write mix) with per-stage dwell-time accounting; the
 //! dwells tile each request's end-to-end latency exactly, so every table's
 //! shares sum to 100%. Pass `--json` to also write `BENCH_breakdown.json`,
-//! and `--trace-out <path>` to export the Optane run's spans as Chrome
-//! trace-event JSON (loadable in Perfetto or `chrome://tracing`).
+//! `--trace-out <path>` to export the Optane run's spans as Chrome
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`), and
+//! `--workers N` to run on the sharded engine (default 1 = inline; the
+//! output is bit-identical at every worker count).
 
 use bam_bench::breakdown_exp::{
-    breakdown, traced_events, BREAKDOWN_ACCESS_BYTES, BREAKDOWN_IN_FLIGHT,
-    BREAKDOWN_JOURNAL_OVERHEAD_BYTES, BREAKDOWN_REQUESTS, BREAKDOWN_SEED, BREAKDOWN_WRITES,
+    breakdown_with_workers, traced_events_with_workers, BREAKDOWN_ACCESS_BYTES,
+    BREAKDOWN_IN_FLIGHT, BREAKDOWN_JOURNAL_OVERHEAD_BYTES, BREAKDOWN_REQUESTS, BREAKDOWN_SEED,
+    BREAKDOWN_WRITES,
 };
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
-use bam_bench::print_table;
+use bam_bench::{print_table, workers_arg};
 use bam_sim::chrome_trace_json;
 
 /// The path following `--trace-out`, if present.
@@ -27,7 +30,8 @@ fn trace_out_path() -> Option<String> {
 }
 
 fn main() {
-    let results = breakdown(BREAKDOWN_SEED);
+    let workers = workers_arg();
+    let results = breakdown_with_workers(BREAKDOWN_SEED, workers);
     for (spec, report, rows) in &results {
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -64,7 +68,7 @@ fn main() {
          submission slots, not media, are the bottleneck."
     );
     if let Some(path) = trace_out_path() {
-        let trace = chrome_trace_json(&traced_events(BREAKDOWN_SEED));
+        let trace = chrome_trace_json(&traced_events_with_workers(BREAKDOWN_SEED, workers));
         std::fs::write(&path, trace).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("wrote {path}");
     }

@@ -4,10 +4,12 @@
 //! its bandwidth-latency product (§2.2) and the per-request latency
 //! distribution is reported alongside the analytic envelope it must agree
 //! with in the mean — the dynamics behind the Fig 9 slowdowns. Pass `--json`
-//! to also write `BENCH_latency_cdf.json`, and `--trace-out <path>` to
-//! export the Optane 1×-depth cell's spans as Chrome trace-event JSON.
+//! to also write `BENCH_latency_cdf.json`, `--trace-out <path>` to export
+//! the Optane 1×-depth cell's spans as Chrome trace-event JSON, and
+//! `--workers N` to run on the sharded engine (default 1 = inline; the
+//! output is bit-identical at every worker count).
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
-use bam_bench::{print_table, sim_exp};
+use bam_bench::{print_table, sim_exp, workers_arg};
 use bam_sim::chrome_trace_json;
 
 /// Access granularity of the sweep (the graph experiments' 4 KB lines).
@@ -15,7 +17,8 @@ const ACCESS_BYTES: u64 = 4096;
 const SEED: u64 = 9;
 
 fn main() {
-    let rows = sim_exp::latency_cdf(4, ACCESS_BYTES, SEED);
+    let workers = workers_arg();
+    let rows = sim_exp::latency_cdf_with_workers(4, ACCESS_BYTES, SEED, workers);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -63,7 +66,8 @@ fn main() {
     while let Some(a) = args.next() {
         if a == "--trace-out" {
             let path = args.next().expect("--trace-out needs a path");
-            let events = sim_exp::latency_cdf_traced_events(4, ACCESS_BYTES, SEED);
+            let events =
+                sim_exp::latency_cdf_traced_events_with_workers(4, ACCESS_BYTES, SEED, workers);
             std::fs::write(&path, chrome_trace_json(&events))
                 .unwrap_or_else(|e| panic!("write {path}: {e}"));
             eprintln!("wrote {path}");

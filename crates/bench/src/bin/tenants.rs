@@ -5,14 +5,16 @@
 //! device, under shared vs weighted-fair queue-pair allocation. Each row
 //! reports a tenant's co-run tail percentiles next to its solo baseline and
 //! the interference ratio (co-run p99 / solo p99; 1.0 = perfect isolation).
-//! Pass `--json` to also write `BENCH_tenants.json`.
+//! Pass `--json` to also write `BENCH_tenants.json`, and `--workers N` to
+//! run the sweep on the sharded engine (default 1 = inline; the output is
+//! bit-identical at every worker count).
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
-use bam_bench::{print_table, sim_exp};
+use bam_bench::{print_table, sim_exp, workers_arg};
 
 const SEED: u64 = 13;
 
 fn main() {
-    let rows = sim_exp::tenant_matrix(SEED);
+    let rows = sim_exp::tenant_matrix_with_workers(SEED, workers_arg());
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

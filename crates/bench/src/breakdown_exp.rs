@@ -70,16 +70,23 @@ pub fn breakdown_config(spec: &SsdSpec, seed: u64) -> SimConfig {
 }
 
 /// Runs one device's seeded breakdown workload, optionally recording every
-/// stage interval as span events (the `--trace-out` export).
-pub fn breakdown_report(spec: &SsdSpec, seed: u64, recorder: Option<&SpanRecorder>) -> SimReport {
+/// stage interval as span events (the `--trace-out` export). `workers`
+/// selects the engine (1 = inline, more = sharded); the report and spans
+/// are bit-identical at every count.
+pub fn breakdown_report(
+    spec: &SsdSpec,
+    seed: u64,
+    recorder: Option<&SpanRecorder>,
+    workers: usize,
+) -> SimReport {
     let config = breakdown_config(spec, seed);
     let reqs = engine::mixed_requests(&config, BREAKDOWN_REQUESTS, BREAKDOWN_WRITES);
     let workload = Workload::ClosedLoop {
         in_flight: BREAKDOWN_IN_FLIGHT,
     };
     match recorder {
-        Some(rec) => engine::run_traced(&config, workload, &reqs, rec),
-        None => engine::run(&config, workload, &reqs),
+        Some(rec) => engine::run_traced_with_workers(&config, workload, &reqs, workers, rec),
+        None => engine::run_with_workers(&config, workload, &reqs, workers),
     }
 }
 
@@ -112,6 +119,14 @@ pub fn stage_rows(device: &str, report: &SimReport) -> Vec<BreakdownRow> {
 /// The full breakdown: the three Table-2 devices, each returning its run
 /// report and stage table.
 pub fn breakdown(seed: u64) -> Vec<(SsdSpec, SimReport, Vec<BreakdownRow>)> {
+    breakdown_with_workers(seed, 1)
+}
+
+/// [`breakdown`] with an explicit engine worker count (1 = inline).
+pub fn breakdown_with_workers(
+    seed: u64,
+    workers: usize,
+) -> Vec<(SsdSpec, SimReport, Vec<BreakdownRow>)> {
     [
         SsdSpec::intel_optane_p5800x(),
         SsdSpec::samsung_pm1735(),
@@ -119,7 +134,7 @@ pub fn breakdown(seed: u64) -> Vec<(SsdSpec, SimReport, Vec<BreakdownRow>)> {
     ]
     .into_iter()
     .map(|spec| {
-        let report = breakdown_report(&spec, seed, None);
+        let report = breakdown_report(&spec, seed, None, workers);
         let rows = stage_rows(&spec.name, &report);
         (spec, report, rows)
     })
@@ -129,8 +144,13 @@ pub fn breakdown(seed: u64) -> Vec<(SsdSpec, SimReport, Vec<BreakdownRow>)> {
 /// The Optane run's span events (what `breakdown --trace-out` exports):
 /// bounded to the recorder's default capacity, deterministic per seed.
 pub fn traced_events(seed: u64) -> Vec<SpanEvent> {
+    traced_events_with_workers(seed, 1)
+}
+
+/// [`traced_events`] with an explicit engine worker count (1 = inline).
+pub fn traced_events_with_workers(seed: u64, workers: usize) -> Vec<SpanEvent> {
     let rec = SpanRecorder::new();
-    breakdown_report(&SsdSpec::intel_optane_p5800x(), seed, Some(&rec));
+    breakdown_report(&SsdSpec::intel_optane_p5800x(), seed, Some(&rec), workers);
     rec.events()
 }
 

@@ -33,10 +33,12 @@
 //! | [`misc_exp::figure15`] | Fig 15 (UVM vs ZeroCopy) |
 //! | [`misc_exp::vectoradd_eval`] | §5.4 (vectorAdd) |
 //! | [`recovery_exp::recovery_sweep`] | Crash-recovery sweep (journal replay; beyond the paper) |
+//! | [`engine_exp::engine_sweep`] | Engine throughput: inline vs sharded event engine (infrastructure; beyond the paper) |
 
 pub mod analytics_exp;
 pub mod breakdown_exp;
 pub mod drift;
+pub mod engine_exp;
 pub mod graph_exp;
 pub mod jsonout;
 pub mod micro_exp;
@@ -44,6 +46,27 @@ pub mod misc_exp;
 pub mod recovery_exp;
 pub mod scale;
 pub mod sim_exp;
+
+/// The worker count following `--workers` in the process arguments, or 1
+/// (the inline engine) when absent — the event-driven binaries take this
+/// flag, and their default output stays byte-identical to the
+/// single-threaded engine's because `workers == 1` *is* the inline path.
+///
+/// # Panics
+///
+/// Panics if the flag is present without a positive integer value.
+pub fn workers_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            let v = args.next().expect("--workers needs a value");
+            let n: usize = v.parse().expect("--workers must be an integer");
+            assert!(n > 0, "--workers must be at least 1");
+            return n;
+        }
+    }
+    1
+}
 
 /// Prints a table of rows as aligned columns on stdout (shared by the
 /// figure binaries).

@@ -62,6 +62,18 @@ pub struct LatencyCdfRow {
 /// array at `access_bytes` granularity, each at 0.5×, 1×, and 2× its
 /// bandwidth-latency product (Fig 9 / Table 2, event-driven).
 pub fn latency_cdf(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<LatencyCdfRow> {
+    latency_cdf_with_workers(num_ssds, access_bytes, seed, 1)
+}
+
+/// [`latency_cdf`] on the sharded engine with `workers` accounting workers
+/// (1 = the inline engine). The rows are bit-identical at every worker
+/// count — the flag only changes how the simulation is executed.
+pub fn latency_cdf_with_workers(
+    num_ssds: usize,
+    access_bytes: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<LatencyCdfRow> {
     let mut rows = Vec::new();
     for spec in [
         SsdSpec::intel_optane_p5800x(),
@@ -85,7 +97,12 @@ pub fn latency_cdf(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<Latency
                 ),
             };
             let reqs = engine::uniform_reads(&config, SAMPLE_REQUESTS);
-            let report = engine::run(&config, Workload::ClosedLoop { in_flight }, &reqs);
+            let report = engine::run_with_workers(
+                &config,
+                Workload::ClosedLoop { in_flight },
+                &reqs,
+                workers,
+            );
             rows.push(LatencyCdfRow {
                 device: spec.name.clone(),
                 depth_multiplier: multiplier,
@@ -111,6 +128,17 @@ pub fn latency_cdf(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<Latency
 /// the report is identical to the untraced cell's). This is what
 /// `latency_cdf --trace-out` exports; deterministic per seed.
 pub fn latency_cdf_traced_events(num_ssds: usize, access_bytes: u64, seed: u64) -> Vec<SpanEvent> {
+    latency_cdf_traced_events_with_workers(num_ssds, access_bytes, seed, 1)
+}
+
+/// [`latency_cdf_traced_events`] on the sharded engine (1 = inline); the
+/// exported spans are bit-identical at every worker count.
+pub fn latency_cdf_traced_events_with_workers(
+    num_ssds: usize,
+    access_bytes: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<SpanEvent> {
     let spec = SsdSpec::intel_optane_p5800x();
     let model = SsdArrayModel::prototype(spec.clone(), num_ssds);
     let qd = required_queue_depth(model.peak_read_iops(access_bytes), spec.read_latency_us).max(1);
@@ -127,12 +155,13 @@ pub fn latency_cdf_traced_events(num_ssds: usize, access_bytes: u64, seed: u64) 
     };
     let reqs = engine::uniform_reads(&config, SAMPLE_REQUESTS);
     let recorder = SpanRecorder::new();
-    engine::run_traced(
+    engine::run_traced_with_workers(
         &config,
         Workload::ClosedLoop {
             in_flight: qd as u32,
         },
         &reqs,
+        workers,
         &recorder,
     );
     recorder.events()
@@ -326,9 +355,24 @@ pub fn tenant_matrix(seed: u64) -> Vec<TenantRow> {
     tenant_matrix_scaled(seed, TENANT_STEADY_REQUESTS)
 }
 
+/// [`tenant_matrix`] on the sharded engine with `workers` accounting
+/// workers (1 = the inline engine); rows are bit-identical at every count.
+pub fn tenant_matrix_with_workers(seed: u64, workers: usize) -> Vec<TenantRow> {
+    tenant_matrix_scaled_with_workers(seed, TENANT_STEADY_REQUESTS, workers)
+}
+
 /// [`tenant_matrix`] with an explicit per-steady-tenant request count (the
 /// unit tests run a reduced scale; the `tenants` binary runs the full one).
 pub fn tenant_matrix_scaled(seed: u64, steady_requests: u64) -> Vec<TenantRow> {
+    tenant_matrix_scaled_with_workers(seed, steady_requests, 1)
+}
+
+/// [`tenant_matrix_scaled`] with an explicit engine worker count.
+pub fn tenant_matrix_scaled_with_workers(
+    seed: u64,
+    steady_requests: u64,
+    workers: usize,
+) -> Vec<TenantRow> {
     let mut rows = Vec::new();
     // Solo-run p99 baselines, keyed by (device, policy, tenant id).
     let mut solo_p99: HashMap<(String, &'static str, u32), f64> = HashMap::new();
@@ -342,7 +386,8 @@ pub fn tenant_matrix_scaled(seed: u64, steady_requests: u64) -> Vec<TenantRow> {
             for num_tenants in [1usize, 2, 4, 8] {
                 for bursty in [false, true] {
                     let tenants = scenario_tenants(num_tenants, bursty, steady_requests);
-                    let report = engine::run_tenants(&config, &tenants, policy);
+                    let report =
+                        engine::run_tenants_with_workers(&config, &tenants, policy, workers);
                     for (t, summary) in tenants.iter().zip(&report.tenants) {
                         let key = (spec.name.clone(), policy.label(), t.id);
                         // An n=1 run *is* the tenant's solo run (the engine
@@ -351,8 +396,13 @@ pub fn tenant_matrix_scaled(seed: u64, steady_requests: u64) -> Vec<TenantRow> {
                             *solo_p99.entry(key).or_insert(summary.latency.p99_us)
                         } else {
                             *solo_p99.entry(key).or_insert_with(|| {
-                                engine::run_tenants(&config, std::slice::from_ref(t), policy)
-                                    .tenants[0]
+                                engine::run_tenants_with_workers(
+                                    &config,
+                                    std::slice::from_ref(t),
+                                    policy,
+                                    workers,
+                                )
+                                .tenants[0]
                                     .latency
                                     .p99_us
                             })

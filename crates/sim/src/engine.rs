@@ -9,18 +9,26 @@
 //!
 //! Runs are deterministic: the event heap breaks ties by insertion order and
 //! all randomness comes from one seeded SplitMix64 generator.
+//!
+//! Two engines share one timing spine ([`drive_events`]): the inline engine
+//! ([`run`]) applies accounting in the event loop, and the sharded engine
+//! ([`run_sharded`]) streams accounting records to per-SSD worker shards
+//! (see [`crate::shard`] and [`crate::coordinator`]) whose merged results
+//! are bit-identical at any worker count.
 
 use std::collections::VecDeque;
 
-use bam_obs::{SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown};
+use bam_obs::{SpanRecorder, Stage, StageBreakdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::clock::SimTime;
+use crate::coordinator;
 use crate::dist::LatencyDist;
 use crate::event::{Event, EventQueue};
 use crate::pipeline::{fair_shares, PipelineParams, QueuePairPolicy};
 use crate::report::{DepthTimeline, MultiTenantReport, SimReport, TenantSummary};
+use crate::shard::{occupancy_stats, Accounting, Rec, SpanOut, TenantAcc};
 use crate::tenant::{ArrivalProcess, Superposition, TenantSpec};
 
 /// Static description of one simulated request.
@@ -164,137 +172,82 @@ impl Center {
     }
 }
 
-/// Time-weighted occupancy accounting for one queue pair.
-#[derive(Debug, Default, Clone, Copy)]
-struct OccupancyMeter {
-    integral_ns: u128,
-    last_change: SimTime,
-    current: u64,
-    max: u64,
-}
-
-impl OccupancyMeter {
-    fn update(&mut self, now: SimTime, occupancy: u64) {
-        self.integral_ns += u128::from(now - self.last_change) * u128::from(self.current);
-        self.last_change = now;
-        self.current = occupancy;
-        self.max = self.max.max(occupancy);
-    }
-
-    fn mean(&self, end: SimTime) -> f64 {
-        let total = end - SimTime::ZERO;
-        if total == 0 {
-            return 0.0;
-        }
-        let integral =
-            self.integral_ns + u128::from(end - self.last_change) * u128::from(self.current);
-        integral as f64 / total as f64
-    }
-}
-
-/// Engine-side state of one tenant during a run.
-struct TenantRt {
+/// Spine-side issue state of one tenant: which requests exist and how
+/// closed-loop completions refill them. Accounting state lives in
+/// [`TenantAcc`].
+pub(crate) struct IssueState {
     /// First global request index of the tenant's contiguous block.
-    base: u64,
+    pub(crate) base: u64,
     /// Requests in the block.
-    count: u64,
+    pub(crate) count: u64,
     /// Requests whose arrivals have been scheduled so far.
-    issued: u64,
+    pub(crate) issued: u64,
     /// `Some(in_flight)` for closed-loop tenants: completions refill.
-    refill: Option<u32>,
-    /// Completed-request latencies, in completion order.
-    latencies: Vec<u64>,
-    /// When the tenant's first request arrived.
-    first_arrival: Option<SimTime>,
-    /// When the tenant's last request completed.
-    last_completion: SimTime,
-    /// Per-stage dwell-time histograms over the tenant's requests.
-    stages: StageBreakdown,
+    pub(crate) refill: Option<u32>,
 }
 
-impl TenantRt {
-    fn new(base: u64, count: u64, issued: u64, refill: Option<u32>) -> Self {
+impl IssueState {
+    pub(crate) fn new(base: u64, count: u64, issued: u64, refill: Option<u32>) -> Self {
         Self {
             base,
             count,
             issued,
             refill,
-            latencies: Vec::with_capacity(count as usize),
-            first_arrival: None,
-            last_completion: SimTime::ZERO,
-            stages: StageBreakdown::new(),
         }
     }
 }
 
-/// Closes one pipeline stage of request `req` at `now`: the dwell since the
-/// request's previous stage boundary lands in its tenant's
-/// [`StageBreakdown`] and (when tracing) in the recorder as a [`SpanEvent`]
-/// on the request's queue-pair track. Dwell times tile the request's life
-/// exactly — their sum is the end-to-end latency.
-#[allow(clippy::too_many_arguments)]
-fn mark_stage(
-    req: u32,
-    stage: Stage,
-    now: SimTime,
-    bytes: u64,
-    last_mark: &mut [SimTime],
-    tenants: &mut [TenantRt],
-    tenant_of: &[u32],
-    qp_of: &[u32],
-    recorder: Option<&SpanRecorder>,
-) {
-    let start = last_mark[req as usize];
-    let dwell = now - start;
-    tenants[tenant_of[req as usize] as usize]
-        .stages
-        .record(stage, dwell);
-    if let Some(rec) = recorder {
-        rec.record(SpanEvent {
-            span: SpanId(u64::from(req)),
-            stage,
-            start_ns: start.as_ns(),
-            end_ns: now.as_ns(),
-            track: qp_of[req as usize],
-            arg: bytes,
-        });
-    }
-    last_mark[req as usize] = now;
+/// Worst-case simultaneously pending events, reserved up front so the heap
+/// never reallocates mid-run: every not-yet-popped pre-scheduled arrival,
+/// at most one in-service event per in-flight request, and up to two pending
+/// events per queue pair (`QpForwarded` + `QpRecovered` are scheduled
+/// together).
+pub(crate) fn heap_reservation(
+    pending_arrivals: usize,
+    num_requests: usize,
+    total_qps: u32,
+) -> usize {
+    pending_arrivals + num_requests + 2 * total_qps as usize + 16
 }
 
-/// What the shared event loop hands back to its wrappers.
-struct CoreOutcome {
-    end: SimTime,
-    depth: DepthTimeline,
-    occupancy_mean: f64,
-    occupancy_max: u64,
-    /// Completed-read latencies, in completion order.
-    read_latencies: Vec<u64>,
-    /// Completed-write latencies, in completion order. Includes the
-    /// journal-flush stage when enabled — latency is measured from arrival.
-    write_latencies: Vec<u64>,
+/// What the timing spine hands back to its wrappers.
+pub(crate) struct SpineOutcome {
+    pub(crate) end: SimTime,
+    pub(crate) depth: DepthTimeline,
+    /// Events processed (identical for the inline and sharded engines).
+    pub(crate) events: u64,
+    /// Most events ever simultaneously pending in the heap.
+    pub(crate) peak_queued: usize,
 }
 
-/// The shared event loop: drives `requests` (routed by `qp_of`, attributed by
+/// The timing spine: drives `requests` (routed by `qp_of`, attributed by
 /// `tenant_of`) from the pre-scheduled `arrivals` through the five-stage
-/// pipeline, refilling closed-loop tenants on completion. Latencies land in
-/// each tenant's [`TenantRt`].
-fn run_core(
+/// pipeline, refilling closed-loop tenants on completion, and emits every
+/// accounting fact as a [`Rec`] through `sink` in global `(time, seq)`
+/// order.
+///
+/// With `CURSOR` false the pre-scheduled arrivals are heap-loaded up front
+/// (the inline engine's historical behavior). With `CURSOR` true they are
+/// fed from the already-time-sorted slice instead, keeping the heap sized by
+/// in-flight work rather than total run length; a pending arrival fires
+/// before any heap event at the same instant, which is exactly the heap
+/// order (pre-scheduled arrivals always carry lower insertion sequences than
+/// runtime events), so both modes process the identical event sequence.
+fn drive_events<const CURSOR: bool>(
     config: &SimConfig,
     requests: &[RequestDesc],
     tenant_of: &[u32],
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
-    tenants: &mut [TenantRt],
-    recorder: Option<&SpanRecorder>,
-) -> CoreOutcome {
+    issue: &mut [IssueState],
+    sink: &mut impl FnMut(Rec),
+) -> SpineOutcome {
     let n = requests.len() as u64;
     let total_qps = config.total_queue_pairs();
     let p = &config.pipeline;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mut queue_pairs: Vec<Center> = (0..total_qps).map(|_| Center::new(1)).collect();
-    let mut meters: Vec<OccupancyMeter> = vec![OccupancyMeter::default(); total_qps as usize];
     let mut media: Vec<Center> = (0..config.num_ssds)
         .map(|_| Center::new(p.media_channels))
         .collect();
@@ -307,48 +260,70 @@ fn run_core(
     let gpu_link_ns =
         |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
 
-    let mut arrive_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
-    // Last stage boundary of each request; dwell times are measured from it.
-    let mut last_mark: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
-    let mut read_latencies: Vec<u64> = Vec::new();
-    let mut write_latencies: Vec<u64> = Vec::new();
     let mut completed: u64 = 0;
     let mut depth_timeline = DepthTimeline::default();
     let mut depth: u32 = 0;
     let mut now = SimTime::ZERO;
+    let mut processed: u64 = 0;
+    let mut rec_idx: u64 = 0;
+    let mut next_arrival = 0usize;
 
-    let mut events = EventQueue::with_capacity(arrivals.len());
-    for &(at, req) in arrivals {
-        events.schedule(at, Event::Arrive { req });
+    let mut events = EventQueue::with_capacity(heap_reservation(
+        if CURSOR { 0 } else { arrivals.len() },
+        requests.len(),
+        total_qps,
+    ));
+    if !CURSOR {
+        for &(at, req) in arrivals {
+            events.schedule(at, Event::Arrive { req });
+        }
     }
 
     // Closes one stage of `req` at the current instant (dwell measured from
-    // the request's previous boundary).
+    // the request's previous boundary — the shard owns that state).
     macro_rules! mark {
-        ($req:expr, $stage:expr) => {
-            mark_stage(
-                $req,
-                $stage,
-                now,
-                requests[$req as usize].bytes,
-                &mut last_mark,
-                tenants,
-                tenant_of,
-                qp_of,
-                recorder,
-            )
+        ($req:expr, $stage:expr) => {{
+            let idx = rec_idx;
+            rec_idx += 1;
+            sink(Rec::Stage {
+                req: $req,
+                stage: $stage,
+                at: now,
+                idx,
+            });
+        }};
+    }
+    macro_rules! meter {
+        ($qp:expr) => {
+            sink(Rec::Meter {
+                qp: $qp as u32,
+                at: now,
+                occupancy: queue_pairs[$qp].occupancy(),
+            })
         };
     }
 
-    while let Some((at, event)) = events.pop() {
+    loop {
+        let take_arrival = CURSOR
+            && next_arrival < arrivals.len()
+            && events
+                .peek_time()
+                .is_none_or(|t| arrivals[next_arrival].0 <= t);
+        let (at, event) = if take_arrival {
+            let (at, req) = arrivals[next_arrival];
+            next_arrival += 1;
+            (at, Event::Arrive { req })
+        } else if let Some(popped) = events.pop() {
+            popped
+        } else {
+            break;
+        };
         debug_assert!(at >= now, "time went backwards");
         now = at;
+        processed += 1;
         match event {
             Event::Arrive { req } => {
-                arrive_at[req as usize] = now;
-                last_mark[req as usize] = now;
-                let t = &mut tenants[tenant_of[req as usize] as usize];
-                t.first_arrival.get_or_insert(now);
+                sink(Rec::Arrive { req, at: now });
                 depth += 1;
                 depth_timeline.record(now, depth);
                 // A write's journal record must be durable before the
@@ -364,7 +339,7 @@ fn run_core(
                         events
                             .schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
                     }
-                    meters[qp].update(now, queue_pairs[qp].occupancy());
+                    meter!(qp);
                 }
             }
             Event::JournalFlushed { req } => {
@@ -374,7 +349,7 @@ fn run_core(
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
                     events.schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
                 }
-                meters[qp].update(now, queue_pairs[qp].occupancy());
+                meter!(qp);
             }
             Event::QpRecovered { qp } => {
                 let qp = qp as usize;
@@ -382,7 +357,7 @@ fn run_core(
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req: next });
                     events.schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
                 }
-                meters[qp].update(now, queue_pairs[qp].occupancy());
+                meter!(qp);
             }
             Event::QpForwarded { req } => {
                 mark!(req, Stage::QueuePair);
@@ -447,20 +422,14 @@ fn run_core(
                 events.schedule(now + p.completion_ns, Event::Complete { req });
             }
             Event::Complete { req } => {
-                mark!(req, Stage::Completion);
-                let t = &mut tenants[tenant_of[req as usize] as usize];
-                let latency = now - arrive_at[req as usize];
-                t.latencies.push(latency);
-                if requests[req as usize].write {
-                    write_latencies.push(latency);
-                } else {
-                    read_latencies.push(latency);
-                }
-                t.last_completion = now;
+                let idx = rec_idx;
+                rec_idx += 1;
+                sink(Rec::Complete { req, at: now, idx });
                 completed += 1;
                 depth -= 1;
                 depth_timeline.record(now, depth);
                 // Closed-loop tenants launch their next request immediately.
+                let t = &mut issue[tenant_of[req as usize] as usize];
                 if t.refill.is_some() && t.issued < t.count {
                     let next = (t.base + t.issued) as u32;
                     t.issued += 1;
@@ -475,20 +444,125 @@ fn run_core(
         }
     }
 
-    let occupancy_mean = if meters.is_empty() {
-        0.0
-    } else {
-        meters.iter().map(|m| m.mean(now)).sum::<f64>() / meters.len() as f64
-    };
-    let occupancy_max = meters.iter().map(|m| m.max).max().unwrap_or(0);
-    CoreOutcome {
+    // Regression guard for the heap reservation: `with_capacity` must cover
+    // the run's true peak, or mid-run reallocation silently returns.
+    assert!(
+        events.peak_len() <= events.reserved(),
+        "event heap outgrew its reservation: peak {} > reserved {}",
+        events.peak_len(),
+        events.reserved()
+    );
+
+    SpineOutcome {
         end: now,
         depth: depth_timeline,
-        occupancy_mean,
-        occupancy_max,
-        read_latencies,
-        write_latencies,
+        events: processed,
+        peak_queued: events.peak_len(),
     }
+}
+
+/// Which engine executes a run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EngineMode {
+    /// The historical single-threaded engine: accounting applied inline in
+    /// the event loop, arrivals heap-loaded up front.
+    Inline,
+    /// The sharded engine: the timing spine streams records to
+    /// `min(workers, num_ssds)` accounting shards (see
+    /// [`crate::coordinator`]).
+    Sharded(usize),
+}
+
+/// What either engine hands back to the report builders.
+pub(crate) struct EngineOutput {
+    pub(crate) end: SimTime,
+    pub(crate) depth: DepthTimeline,
+    pub(crate) events: u64,
+    /// Most events ever simultaneously pending in the spine's heap. Not part
+    /// of any report — the cursor-fed sharded spine keeps a much smaller
+    /// heap than the heap-fed inline engine on the same workload. Read only
+    /// by the reservation regression tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) peak_queued: usize,
+    pub(crate) occupancy_mean: f64,
+    pub(crate) occupancy_max: u64,
+    /// Completed-read latencies (completion order for the inline engine,
+    /// shard-concatenated for the sharded one — consumers are
+    /// order-independent).
+    pub(crate) read_latencies: Vec<u64>,
+    /// Completed-write latencies. Includes the journal-flush stage when
+    /// enabled — latency is measured from arrival.
+    pub(crate) write_latencies: Vec<u64>,
+    /// Per-tenant accounting, in tenant declaration order.
+    pub(crate) tenants: Vec<TenantAcc>,
+}
+
+/// Runs the spine with inline accounting (the historical engine) or via the
+/// shard coordinator, returning identical output either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute(
+    config: &SimConfig,
+    requests: &[RequestDesc],
+    tenant_of: &[u32],
+    qp_of: &[u32],
+    arrivals: &[(SimTime, u32)],
+    issue: &mut [IssueState],
+    recorder: Option<&SpanRecorder>,
+    mode: EngineMode,
+) -> EngineOutput {
+    match mode {
+        EngineMode::Inline => {
+            let spans = recorder.map_or(SpanOut::None, SpanOut::Direct);
+            let mut acct = Accounting::new(
+                requests,
+                tenant_of,
+                qp_of,
+                None,
+                requests.len(),
+                config.total_queue_pairs(),
+                issue.len(),
+                spans,
+            );
+            let spine = drive_events::<false>(
+                config,
+                requests,
+                tenant_of,
+                qp_of,
+                arrivals,
+                issue,
+                &mut |rec| acct.apply(rec),
+            );
+            let (occupancy_mean, occupancy_max) = occupancy_stats(&acct.meters, spine.end);
+            EngineOutput {
+                end: spine.end,
+                depth: spine.depth,
+                events: spine.events,
+                peak_queued: spine.peak_queued,
+                occupancy_mean,
+                occupancy_max,
+                read_latencies: acct.read_latencies,
+                write_latencies: acct.write_latencies,
+                tenants: acct.tenants,
+            }
+        }
+        EngineMode::Sharded(workers) => coordinator::run_sharded_core(
+            config, requests, tenant_of, qp_of, arrivals, issue, recorder, workers,
+        ),
+    }
+}
+
+/// The cursor-fed spine entry point for the coordinator (monomorphized
+/// separately from the inline engine's heap-fed one).
+pub(crate) fn drive_events_cursor(
+    config: &SimConfig,
+    requests: &[RequestDesc],
+    tenant_of: &[u32],
+    qp_of: &[u32],
+    arrivals: &[(SimTime, u32)],
+    issue: &mut [IssueState],
+    sink: &mut impl FnMut(Rec),
+) -> SpineOutcome {
+    drive_events::<true>(config, requests, tenant_of, qp_of, arrivals, issue, sink)
 }
 
 /// Runs `requests` through the pipeline under the given arrival process and
@@ -499,37 +573,105 @@ fn run_core(
 /// Panics if `requests` is empty, the configuration has no queue pairs, or an
 /// open-loop rate is not positive.
 pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
-    run_with(config, workload, requests, None)
+    run_with(config, workload, requests, None, EngineMode::Inline)
 }
 
 /// [`run`] with span tracing: every request's stage intervals are recorded
-/// into `recorder` as [`SpanEvent`]s with virtual-nanosecond timestamps.
-/// Tracing changes no simulation state — the report is identical to the
-/// untraced run's.
+/// into `recorder` as [`bam_obs::SpanEvent`]s with virtual-nanosecond
+/// timestamps. Tracing changes no simulation state — the report is identical
+/// to the untraced run's.
 pub fn run_traced(
     config: &SimConfig,
     workload: Workload,
     requests: &[RequestDesc],
     recorder: &SpanRecorder,
 ) -> SimReport {
-    run_with(config, workload, requests, Some(recorder))
+    run_with(
+        config,
+        workload,
+        requests,
+        Some(recorder),
+        EngineMode::Inline,
+    )
 }
 
-fn run_with(
+/// [`run`] on the sharded engine: the timing spine streams accounting to
+/// `min(workers, num_ssds)` per-SSD shards applied by a worker pool. The
+/// report is bit-identical to [`run`]'s at any worker count.
+///
+/// # Panics
+///
+/// Panics on [`run`]'s conditions, or if `workers` is zero.
+pub fn run_sharded(
     config: &SimConfig,
     workload: Workload,
     requests: &[RequestDesc],
-    recorder: Option<&SpanRecorder>,
+    workers: usize,
 ) -> SimReport {
-    assert!(!requests.is_empty(), "nothing to simulate");
-    assert!(
-        config.total_queue_pairs() > 0,
-        "need at least one queue pair"
-    );
-    let n = requests.len() as u64;
+    assert!(workers > 0, "need at least one worker");
+    run_with(
+        config,
+        workload,
+        requests,
+        None,
+        EngineMode::Sharded(workers),
+    )
+}
 
-    // Legacy routing: explicit overrides win, everything else round-robins
-    // devices first and local queues second on the global request index.
+/// [`run_sharded`] with span tracing: shards buffer their span events and
+/// the coordinator merges them back in global emission order, so the
+/// recorder's contents are bit-identical to [`run_traced`]'s.
+pub fn run_sharded_traced(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    workers: usize,
+    recorder: &SpanRecorder,
+) -> SimReport {
+    assert!(workers > 0, "need at least one worker");
+    run_with(
+        config,
+        workload,
+        requests,
+        Some(recorder),
+        EngineMode::Sharded(workers),
+    )
+}
+
+/// Engine dispatch by worker count: `workers <= 1` runs the inline engine,
+/// anything larger the sharded one. The report is identical either way —
+/// this is what the benchmark binaries' `--workers` flag calls.
+pub fn run_with_workers(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    workers: usize,
+) -> SimReport {
+    if workers <= 1 {
+        run(config, workload, requests)
+    } else {
+        run_sharded(config, workload, requests, workers)
+    }
+}
+
+/// [`run_with_workers`] with span tracing.
+pub fn run_traced_with_workers(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    workers: usize,
+    recorder: &SpanRecorder,
+) -> SimReport {
+    if workers <= 1 {
+        run_traced(config, workload, requests, recorder)
+    } else {
+        run_sharded_traced(config, workload, requests, workers, recorder)
+    }
+}
+
+/// Legacy routing: explicit overrides win, everything else round-robins
+/// devices first and local queues second on the global request index.
+pub(crate) fn legacy_qp_of(config: &SimConfig, requests: &[RequestDesc]) -> Vec<u32> {
     let mut qp_of: Vec<u32> = Vec::with_capacity(requests.len());
     for (i, desc) in requests.iter().enumerate() {
         let device = desc
@@ -541,8 +683,13 @@ fn run_with(
         );
         qp_of.push(device * config.queue_pairs_per_ssd + local);
     }
+    qp_of
+}
 
-    let arrivals: Vec<(SimTime, u32)> = match workload {
+/// The pre-scheduled arrival stream of a single-tenant workload over `n`
+/// requests (time-ascending by construction).
+pub(crate) fn workload_arrivals(workload: Workload, n: u64) -> Vec<(SimTime, u32)> {
+    match workload {
         Workload::OpenLoop { rate_per_s } => {
             assert!(rate_per_s > 0.0, "open-loop rate must be positive");
             (0..n)
@@ -560,32 +707,44 @@ fn run_with(
                 .map(|i| (SimTime::ZERO, i as u32))
                 .collect()
         }
-    };
+    }
+}
+
+fn run_with(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    recorder: Option<&SpanRecorder>,
+    mode: EngineMode,
+) -> SimReport {
+    assert!(!requests.is_empty(), "nothing to simulate");
+    assert!(
+        config.total_queue_pairs() > 0,
+        "need at least one queue pair"
+    );
+    let n = requests.len() as u64;
+    let qp_of = legacy_qp_of(config, requests);
+    let arrivals = workload_arrivals(workload, n);
     let refill = match workload {
         Workload::ClosedLoop { in_flight } => Some(in_flight),
         Workload::OpenLoop { .. } => None,
     };
-    let mut tenants = [TenantRt::new(0, n, arrivals.len() as u64, refill)];
+    let mut issue = [IssueState::new(0, n, arrivals.len() as u64, refill)];
     let tenant_of = vec![0u32; requests.len()];
-    let outcome = run_core(
-        config,
-        requests,
-        &tenant_of,
-        &qp_of,
-        &arrivals,
-        &mut tenants,
-        recorder,
+    let mut outcome = execute(
+        config, requests, &tenant_of, &qp_of, &arrivals, &mut issue, recorder, mode,
     );
-    let [rt] = tenants;
+    let acc = outcome.tenants.remove(0);
     SimReport::build(
-        rt.latencies,
+        acc.latencies,
         outcome.read_latencies,
         outcome.write_latencies,
         outcome.depth,
         outcome.end,
+        outcome.events,
         outcome.occupancy_mean,
         outcome.occupancy_max,
-        rt.stages,
+        acc.stages,
     )
 }
 
@@ -610,7 +769,7 @@ pub fn run_tenants(
     tenants: &[TenantSpec],
     policy: QueuePairPolicy,
 ) -> MultiTenantReport {
-    run_tenants_with(config, tenants, policy, None)
+    run_tenants_with(config, tenants, policy, None, EngineMode::Inline)
 }
 
 /// [`run_tenants`] with span tracing into `recorder` (see [`run_traced`]).
@@ -620,7 +779,56 @@ pub fn run_tenants_traced(
     policy: QueuePairPolicy,
     recorder: &SpanRecorder,
 ) -> MultiTenantReport {
-    run_tenants_with(config, tenants, policy, Some(recorder))
+    run_tenants_with(config, tenants, policy, Some(recorder), EngineMode::Inline)
+}
+
+/// [`run_tenants`] on the sharded engine (see [`run_sharded`]); the report
+/// is bit-identical to [`run_tenants`]'s at any worker count.
+///
+/// # Panics
+///
+/// Panics on [`run_tenants`]'s conditions, or if `workers` is zero.
+pub fn run_tenants_sharded(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    workers: usize,
+) -> MultiTenantReport {
+    assert!(workers > 0, "need at least one worker");
+    run_tenants_with(config, tenants, policy, None, EngineMode::Sharded(workers))
+}
+
+/// [`run_tenants_sharded`] with span tracing (see [`run_sharded_traced`]).
+pub fn run_tenants_sharded_traced(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    workers: usize,
+    recorder: &SpanRecorder,
+) -> MultiTenantReport {
+    assert!(workers > 0, "need at least one worker");
+    run_tenants_with(
+        config,
+        tenants,
+        policy,
+        Some(recorder),
+        EngineMode::Sharded(workers),
+    )
+}
+
+/// Engine dispatch by worker count for multi-tenant runs (see
+/// [`run_with_workers`]).
+pub fn run_tenants_with_workers(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    workers: usize,
+) -> MultiTenantReport {
+    if workers <= 1 {
+        run_tenants(config, tenants, policy)
+    } else {
+        run_tenants_sharded(config, tenants, policy, workers)
+    }
 }
 
 fn run_tenants_with(
@@ -628,6 +836,7 @@ fn run_tenants_with(
     tenants: &[TenantSpec],
     policy: QueuePairPolicy,
     recorder: Option<&SpanRecorder>,
+    mode: EngineMode,
 ) -> MultiTenantReport {
     assert!(!tenants.is_empty(), "no tenants to simulate");
     assert!(
@@ -682,7 +891,7 @@ fn run_tenants_with(
     }
 
     let superposition = Superposition::generate(config.seed, tenants, &bases);
-    let mut rts: Vec<TenantRt> = tenants
+    let mut issue: Vec<IssueState> = tenants
         .iter()
         .zip(&bases)
         .map(|(t, &base)| {
@@ -690,29 +899,30 @@ fn run_tenants_with(
                 ArrivalProcess::ClosedLoop { in_flight } => Some(in_flight),
                 _ => None,
             };
-            TenantRt::new(base, t.requests, t.arrival.prescheduled(t.requests), refill)
+            IssueState::new(base, t.requests, t.arrival.prescheduled(t.requests), refill)
         })
         .collect();
 
-    let outcome = run_core(
+    let outcome = execute(
         config,
         &requests,
         &tenant_of,
         &qp_of,
         &superposition.arrivals,
-        &mut rts,
+        &mut issue,
         recorder,
+        mode,
     );
 
     let mut all_latencies: Vec<u64> = Vec::with_capacity(requests.len());
     let mut overall_stages = StageBreakdown::new();
     let mut summaries: Vec<TenantSummary> = Vec::with_capacity(tenants.len());
-    for ((t, rt), &share) in tenants.iter().zip(rts).zip(&shares) {
-        all_latencies.extend_from_slice(&rt.latencies);
-        overall_stages.merge(&rt.stages);
-        let histo = bam_obs::LatencyHisto::from_samples(rt.latencies);
-        let first_arrival = rt.first_arrival.unwrap_or(SimTime::ZERO);
-        let span_s = (rt.last_completion - first_arrival) as f64 / 1e9;
+    for ((t, acc), &share) in tenants.iter().zip(outcome.tenants).zip(&shares) {
+        all_latencies.extend_from_slice(&acc.latencies);
+        overall_stages.merge(&acc.stages);
+        let histo = bam_obs::LatencyHisto::from_samples(acc.latencies);
+        let first_arrival = acc.first_arrival.unwrap_or(SimTime::ZERO);
+        let span_s = (acc.last_completion - first_arrival) as f64 / 1e9;
         summaries.push(TenantSummary {
             id: t.id,
             name: t.name.clone(),
@@ -726,8 +936,8 @@ fn run_tenants_with(
                 0.0
             },
             first_arrival_s: first_arrival.as_secs_f64(),
-            last_completion_s: rt.last_completion.as_secs_f64(),
-            stages: rt.stages,
+            last_completion_s: acc.last_completion.as_secs_f64(),
+            stages: acc.stages,
         });
     }
     MultiTenantReport {
@@ -737,6 +947,7 @@ fn run_tenants_with(
             outcome.write_latencies,
             outcome.depth,
             outcome.end,
+            outcome.events,
             outcome.occupancy_mean,
             outcome.occupancy_max,
             overall_stages,
@@ -1133,6 +1344,109 @@ mod tests {
         // Its interference ratio is a NaN-free sentinel, not a panic.
         let ratio = crate::report::interference_ratio(idle.latency.p99_us, idle.latency.p99_us);
         assert_eq!(ratio, 1.0);
+    }
+
+    /// Drives `execute` directly so tests can read spine internals
+    /// (peak heap occupancy) that reports deliberately omit.
+    fn probe(
+        cfg: &SimConfig,
+        workload: Workload,
+        requests: &[RequestDesc],
+        mode: EngineMode,
+    ) -> EngineOutput {
+        let qp_of = legacy_qp_of(cfg, requests);
+        let arrivals = workload_arrivals(workload, requests.len() as u64);
+        let refill = match workload {
+            Workload::ClosedLoop { in_flight } => Some(in_flight),
+            Workload::OpenLoop { .. } => None,
+        };
+        let mut issue = [IssueState::new(
+            0,
+            requests.len() as u64,
+            arrivals.len() as u64,
+            refill,
+        )];
+        execute(
+            cfg,
+            requests,
+            &vec![0; requests.len()],
+            &qp_of,
+            &arrivals,
+            &mut issue,
+            None,
+            mode,
+        )
+    }
+
+    #[test]
+    fn heap_reservation_covers_the_peak() {
+        // Regression for the historical `with_capacity(arrivals.len())`
+        // under-reservation: each request schedules ~6 runtime events beyond
+        // its arrival, so the old reservation reallocated several times per
+        // run. The engine now asserts peak ≤ reserved internally; this test
+        // additionally pins the arithmetic at both workload shapes.
+        let cfg = optane_config(4, 2, 4096, 51);
+        let reqs = uniform_reads(&cfg, 20_000);
+        for workload in [
+            Workload::OpenLoop { rate_per_s: 6.0e6 },
+            Workload::ClosedLoop { in_flight: 2048 },
+        ] {
+            let out = probe(&cfg, workload, &reqs, EngineMode::Inline);
+            assert!(out.peak_queued > 0);
+            let arrivals = match workload {
+                Workload::OpenLoop { .. } => reqs.len(),
+                Workload::ClosedLoop { in_flight } => in_flight as usize,
+            };
+            assert!(
+                out.peak_queued <= heap_reservation(arrivals, reqs.len(), cfg.total_queue_pairs()),
+                "peak {} vs reservation",
+                out.peak_queued
+            );
+            // The old reservation really was too small for this workload.
+            assert!(
+                out.peak_queued > arrivals.min(2048),
+                "peak {} should exceed the historical arrivals-only reservation",
+                out.peak_queued
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_fed_spine_keeps_the_heap_small() {
+        // The sharded spine feeds pre-scheduled arrivals from a sorted
+        // cursor instead of heap-loading them: on an open-loop run the heap
+        // holds only in-flight work, far below the inline engine's
+        // arrivals-dominated peak — while producing the identical report.
+        let cfg = optane_config(4, 4, 4096, 52);
+        let reqs = uniform_reads(&cfg, 20_000);
+        let open = Workload::OpenLoop { rate_per_s: 5.0e6 };
+        let inline = probe(&cfg, open, &reqs, EngineMode::Inline);
+        let sharded = probe(&cfg, open, &reqs, EngineMode::Sharded(2));
+        assert_eq!(inline.events, sharded.events);
+        assert!(
+            sharded.peak_queued * 4 < inline.peak_queued,
+            "cursor peak {} vs heap-fed peak {}",
+            sharded.peak_queued,
+            inline.peak_queued
+        );
+    }
+
+    #[test]
+    fn sharded_report_matches_inline_bit_for_bit() {
+        // The full differential suite lives in tests/parallel_equivalence.rs;
+        // this is the in-crate smoke check on a mixed closed-loop run.
+        let cfg = optane_config(2, 16, 4096, 42);
+        let reqs = mixed_requests(&cfg, 10_000, 1_000);
+        let inline = run(&cfg, Workload::ClosedLoop { in_flight: 256 }, &reqs);
+        for workers in [1, 2, 4] {
+            let sharded = run_sharded(
+                &cfg,
+                Workload::ClosedLoop { in_flight: 256 },
+                &reqs,
+                workers,
+            );
+            assert_eq!(inline, sharded, "workers={workers}");
+        }
     }
 
     #[test]

@@ -57,20 +57,29 @@ impl PartialOrd for Scheduled {
 }
 
 /// Min-heap of scheduled events.
+///
+/// Tracks its own high-water mark: [`peak_len`](Self::peak_len) against
+/// [`reserved`](Self::reserved) is the regression probe asserting the
+/// engine's up-front capacity reservation actually covers a run (the heap
+/// must never reallocate mid-run).
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
+    reserved: usize,
+    peak: usize,
 }
 
 impl EventQueue {
-    /// A queue with room for `n` events — multi-tenant runs pre-schedule
-    /// every open-stream arrival up front, so the heap's eventual size is
-    /// known at construction.
+    /// A queue with room for `n` simultaneously pending events. The engine
+    /// reserves for its worst case up front (see
+    /// `engine::heap_reservation`), so a run never reallocates the heap.
     pub(crate) fn with_capacity(n: usize) -> Self {
         Self {
             heap: BinaryHeap::with_capacity(n),
             seq: 0,
+            reserved: n,
+            peak: 0,
         }
     }
 
@@ -79,11 +88,27 @@ impl EventQueue {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event.
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
         self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Fire time of the earliest pending event, if any.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Most events ever simultaneously pending.
+    pub(crate) fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Capacity reserved at construction.
+    pub(crate) fn reserved(&self) -> usize {
+        self.reserved
     }
 
     #[cfg(test)]

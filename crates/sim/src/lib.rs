@@ -47,11 +47,13 @@
 //! ```
 
 pub mod clock;
+mod coordinator;
 pub mod dist;
 pub mod engine;
 mod event;
 pub mod pipeline;
 pub mod report;
+mod shard;
 pub mod tenant;
 pub mod trace;
 
@@ -61,8 +63,9 @@ pub use bam_obs::{
 pub use clock::SimTime;
 pub use dist::{LatencyDist, Mmpp2, MmppDwellStats};
 pub use engine::{
-    run, run_tenants, run_tenants_traced, run_traced, uniform_reads, RequestDesc, SimConfig,
-    Workload,
+    run, run_sharded, run_sharded_traced, run_tenants, run_tenants_sharded,
+    run_tenants_sharded_traced, run_tenants_traced, run_tenants_with_workers, run_traced,
+    run_traced_with_workers, run_with_workers, uniform_reads, RequestDesc, SimConfig, Workload,
 };
 pub use pipeline::{fair_shares, tail_sigma, PipelineParams, QueuePairPolicy};
 pub use report::{

@@ -126,6 +126,10 @@ pub struct SimReport {
     pub latency: LatencySummary,
     /// Requests completed.
     pub completed: u64,
+    /// Discrete events the engine processed to produce this run — the unit
+    /// the `engine` benchmark's events/s throughput is measured in.
+    /// Identical for the inline and sharded engines on the same workload.
+    pub events: u64,
     /// Total simulated duration in seconds.
     pub sim_time_s: f64,
     /// Completed requests per simulated second.
@@ -158,6 +162,7 @@ impl SimReport {
         write_latencies_ns: Vec<u64>,
         mut depth: DepthTimeline,
         end: SimTime,
+        events: u64,
         queue_occupancy_mean: f64,
         queue_occupancy_max: u64,
         stages: StageBreakdown,
@@ -170,6 +175,7 @@ impl SimReport {
         Self {
             latency: LatencySummary::from_histo(&histogram),
             completed,
+            events,
             sim_time_s,
             throughput_per_s: if sim_time_s > 0.0 {
                 completed as f64 / sim_time_s
@@ -346,11 +352,13 @@ mod tests {
             vec![10_000; 20],
             depth,
             SimTime::from_us(1000.0),
+            700,
             1.0,
             2,
             StageBreakdown::new(),
         );
         assert_eq!(r.completed, 100);
+        assert_eq!(r.events, 700);
         assert!((r.throughput_per_s - 100.0 / 1e-3).abs() < 1e-6);
         // 100k/s × 10us = 1 request in flight.
         assert!((r.littles_in_flight() - 1.0).abs() < 1e-9);

@@ -1,0 +1,388 @@
+//! Per-shard accounting for the sharded engine.
+//!
+//! The timing spine (`engine::drive_events`) owns every service center and
+//! the one seeded RNG — the global RNG draw order is part of the engine's
+//! determinism contract, so timing decisions stay sequential. What *can*
+//! parallelize is everything downstream of a timing decision: stage-dwell
+//! histograms, span events, latency vectors, and occupancy meters are all
+//! order-independent merges (integer histograms, min/max folds, sorted
+//! vectors). The spine therefore emits a compact [`Rec`] stream, partitioned
+//! by owning device, and each shard applies its slice independently.
+//!
+//! Every record about a request routes to the shard of the request's queue
+//! pair, so a shard sees its own requests' records in global `(time, seq)`
+//! order — exactly the order the inline engine would have applied them.
+//! Merging shard results back (see [`merge_tenants`] and
+//! [`occupancy_stats`]) reproduces the inline accounting bit for bit.
+
+use bam_obs::{SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown};
+
+use crate::clock::SimTime;
+use crate::engine::RequestDesc;
+
+/// Time-weighted occupancy accounting for one queue pair.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct OccupancyMeter {
+    integral_ns: u128,
+    last_change: SimTime,
+    current: u64,
+    max: u64,
+}
+
+impl OccupancyMeter {
+    pub(crate) fn update(&mut self, now: SimTime, occupancy: u64) {
+        self.integral_ns += u128::from(now - self.last_change) * u128::from(self.current);
+        self.last_change = now;
+        self.current = occupancy;
+        self.max = self.max.max(occupancy);
+    }
+
+    pub(crate) fn mean(&self, end: SimTime) -> f64 {
+        let total = end - SimTime::ZERO;
+        if total == 0 {
+            return 0.0;
+        }
+        let integral =
+            self.integral_ns + u128::from(end - self.last_change) * u128::from(self.current);
+        integral as f64 / total as f64
+    }
+}
+
+/// Mean-over-queue-pairs and global max of a meter bank. Both engines fold
+/// meters in ascending queue-pair order, so the f64 summation order — and
+/// therefore the reported mean — is identical.
+pub(crate) fn occupancy_stats(meters: &[OccupancyMeter], end: SimTime) -> (f64, u64) {
+    let mean = if meters.is_empty() {
+        0.0
+    } else {
+        meters.iter().map(|m| m.mean(end)).sum::<f64>() / meters.len() as f64
+    };
+    let max = meters.iter().map(|m| m.max).max().unwrap_or(0);
+    (mean, max)
+}
+
+/// One accounting fact from the timing spine. `idx` is the record's global
+/// emission index — the total order that reconstructs the span stream after
+/// a parallel run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Rec {
+    /// Request `req` entered the system at `at`.
+    Arrive { req: u32, at: SimTime },
+    /// Request `req` closed pipeline stage `stage` at `at`.
+    Stage {
+        req: u32,
+        stage: Stage,
+        at: SimTime,
+        idx: u64,
+    },
+    /// Request `req` completed at `at` (closes the Completion stage).
+    Complete { req: u32, at: SimTime, idx: u64 },
+    /// Queue pair `qp` changed occupancy at `at`.
+    Meter {
+        qp: u32,
+        at: SimTime,
+        occupancy: u64,
+    },
+}
+
+impl Rec {
+    /// Virtual instant the record was emitted at.
+    pub(crate) fn at(&self) -> SimTime {
+        match *self {
+            Rec::Arrive { at, .. }
+            | Rec::Stage { at, .. }
+            | Rec::Complete { at, .. }
+            | Rec::Meter { at, .. } => at,
+        }
+    }
+}
+
+/// Static shard topology: devices are dealt round-robin over
+/// `min(workers, num_ssds)` shards, and a queue pair belongs to its device's
+/// shard. Every record about a request routes to the shard of the request's
+/// queue pair, so per-request state never crosses shards.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardMap {
+    pub(crate) shards: usize,
+    queue_pairs_per_ssd: u32,
+}
+
+impl ShardMap {
+    pub(crate) fn new(workers: usize, num_ssds: u32, queue_pairs_per_ssd: u32) -> Self {
+        Self {
+            shards: workers.min(num_ssds as usize).max(1),
+            queue_pairs_per_ssd,
+        }
+    }
+
+    /// The shard owning queue pair `qp`.
+    pub(crate) fn of_qp(&self, qp: u32) -> usize {
+        ((qp / self.queue_pairs_per_ssd) as usize) % self.shards
+    }
+
+    /// The shard a record routes to.
+    pub(crate) fn route(&self, rec: &Rec, qp_of: &[u32]) -> usize {
+        match *rec {
+            Rec::Arrive { req, .. } | Rec::Stage { req, .. } | Rec::Complete { req, .. } => {
+                self.of_qp(qp_of[req as usize])
+            }
+            Rec::Meter { qp, .. } => self.of_qp(qp),
+        }
+    }
+}
+
+/// Accounting-side state of one tenant (the spine keeps issue state; see
+/// `engine::IssueState`).
+#[derive(Debug)]
+pub(crate) struct TenantAcc {
+    /// Completed-request latencies, in completion order.
+    pub(crate) latencies: Vec<u64>,
+    /// When the tenant's first request arrived.
+    pub(crate) first_arrival: Option<SimTime>,
+    /// When the tenant's last request completed.
+    pub(crate) last_completion: SimTime,
+    /// Per-stage dwell-time histograms over the tenant's requests.
+    pub(crate) stages: StageBreakdown,
+}
+
+impl TenantAcc {
+    fn new() -> Self {
+        Self {
+            latencies: Vec::new(),
+            first_arrival: None,
+            last_completion: SimTime::ZERO,
+            stages: StageBreakdown::new(),
+        }
+    }
+}
+
+/// Merges per-shard tenant accounts elementwise. Latency vectors concatenate
+/// in shard order — every consumer is order-independent (histograms, min/max
+/// folds, or an explicit sort) — first arrivals min-fold, last completions
+/// max-fold, and stage histograms merge exactly.
+pub(crate) fn merge_tenants(parts: Vec<Vec<TenantAcc>>) -> Vec<TenantAcc> {
+    let mut parts = parts.into_iter();
+    let mut merged = parts.next().expect("at least one shard");
+    for part in parts {
+        for (into, from) in merged.iter_mut().zip(part) {
+            into.latencies.extend_from_slice(&from.latencies);
+            into.first_arrival = match (into.first_arrival, from.first_arrival) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            into.last_completion = into.last_completion.max(from.last_completion);
+            into.stages.merge(&from.stages);
+        }
+    }
+    merged
+}
+
+/// Where a shard's span events go: straight into the caller's recorder
+/// (inline engine), into an index-tagged buffer for the post-run merge
+/// (sharded engine), or nowhere (untraced).
+pub(crate) enum SpanOut<'a> {
+    None,
+    Direct(&'a SpanRecorder),
+    Buffered(Vec<(u64, SpanEvent)>),
+}
+
+/// One shard's accounting state: everything the inline engine used to track
+/// per request and per tenant, applied from the record stream instead of
+/// inside the event loop.
+///
+/// `local_of` densely remaps request ids onto this shard's own slots so the
+/// per-request arrays cost memory proportional to the shard's share, not the
+/// whole run ([`None`] means the identity map — the inline engine accounts
+/// every request).
+pub(crate) struct Accounting<'a> {
+    requests: &'a [RequestDesc],
+    tenant_of: &'a [u32],
+    qp_of: &'a [u32],
+    local_of: Option<&'a [u32]>,
+    /// Arrival instant of each owned request (dense via `local_of`).
+    arrive_at: Vec<SimTime>,
+    /// Last stage boundary of each owned request.
+    last_mark: Vec<SimTime>,
+    pub(crate) meters: Vec<OccupancyMeter>,
+    pub(crate) tenants: Vec<TenantAcc>,
+    /// Completed-read latencies, in completion order.
+    pub(crate) read_latencies: Vec<u64>,
+    /// Completed-write latencies, in completion order.
+    pub(crate) write_latencies: Vec<u64>,
+    pub(crate) spans: SpanOut<'a>,
+}
+
+impl<'a> Accounting<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        requests: &'a [RequestDesc],
+        tenant_of: &'a [u32],
+        qp_of: &'a [u32],
+        local_of: Option<&'a [u32]>,
+        slots: usize,
+        total_qps: u32,
+        num_tenants: usize,
+        spans: SpanOut<'a>,
+    ) -> Self {
+        Self {
+            requests,
+            tenant_of,
+            qp_of,
+            local_of,
+            arrive_at: vec![SimTime::ZERO; slots],
+            last_mark: vec![SimTime::ZERO; slots],
+            meters: vec![OccupancyMeter::default(); total_qps as usize],
+            tenants: (0..num_tenants).map(|_| TenantAcc::new()).collect(),
+            read_latencies: Vec::new(),
+            write_latencies: Vec::new(),
+            spans,
+        }
+    }
+
+    #[inline]
+    fn local(&self, req: u32) -> usize {
+        match self.local_of {
+            Some(map) => map[req as usize] as usize,
+            None => req as usize,
+        }
+    }
+
+    /// Closes one pipeline stage of `req` at `now`: the dwell since the
+    /// request's previous stage boundary lands in its tenant's
+    /// [`StageBreakdown`] and (when tracing) in the span output on the
+    /// request's queue-pair track. Dwell times tile the request's life
+    /// exactly — their sum is the end-to-end latency.
+    fn mark(&mut self, req: u32, stage: Stage, now: SimTime, idx: u64) {
+        let slot = self.local(req);
+        let start = self.last_mark[slot];
+        self.tenants[self.tenant_of[req as usize] as usize]
+            .stages
+            .record(stage, now - start);
+        match &mut self.spans {
+            SpanOut::None => {}
+            SpanOut::Direct(rec) => rec.record(Self::span_event(
+                self.requests,
+                self.qp_of,
+                req,
+                stage,
+                start,
+                now,
+            )),
+            SpanOut::Buffered(buf) => buf.push((
+                idx,
+                Self::span_event(self.requests, self.qp_of, req, stage, start, now),
+            )),
+        }
+        self.last_mark[slot] = now;
+    }
+
+    fn span_event(
+        requests: &[RequestDesc],
+        qp_of: &[u32],
+        req: u32,
+        stage: Stage,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanEvent {
+        SpanEvent {
+            span: SpanId(u64::from(req)),
+            stage,
+            start_ns: start.as_ns(),
+            end_ns: end.as_ns(),
+            track: qp_of[req as usize],
+            arg: requests[req as usize].bytes,
+        }
+    }
+
+    /// Applies one record. Records arrive in global `(time, seq)` order for
+    /// this shard's requests and queue pairs, so the state transitions are
+    /// the same ones the inline engine performs.
+    pub(crate) fn apply(&mut self, rec: Rec) {
+        match rec {
+            Rec::Arrive { req, at } => {
+                let slot = self.local(req);
+                self.arrive_at[slot] = at;
+                self.last_mark[slot] = at;
+                self.tenants[self.tenant_of[req as usize] as usize]
+                    .first_arrival
+                    .get_or_insert(at);
+            }
+            Rec::Stage {
+                req,
+                stage,
+                at,
+                idx,
+            } => self.mark(req, stage, at, idx),
+            Rec::Complete { req, at, idx } => {
+                self.mark(req, Stage::Completion, at, idx);
+                let latency = at - self.arrive_at[self.local(req)];
+                let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
+                tenant.latencies.push(latency);
+                tenant.last_completion = at;
+                if self.requests[req as usize].write {
+                    self.write_latencies.push(latency);
+                } else {
+                    self.read_latencies.push(latency);
+                }
+            }
+            Rec::Meter { qp, at, occupancy } => {
+                self.meters[qp as usize].update(at, occupancy);
+            }
+        }
+    }
+
+    /// The shard's buffered `(emission index, span event)` pairs, if any.
+    pub(crate) fn take_spans(&mut self) -> Vec<(u64, SpanEvent)> {
+        match std::mem::replace(&mut self.spans, SpanOut::None) {
+            SpanOut::Buffered(buf) => buf,
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_deals_devices_round_robin() {
+        let map = ShardMap::new(2, 4, 2);
+        assert_eq!(map.shards, 2);
+        // Queue pairs 0-1 → device 0 → shard 0; 2-3 → device 1 → shard 1 …
+        assert_eq!(map.of_qp(0), 0);
+        assert_eq!(map.of_qp(1), 0);
+        assert_eq!(map.of_qp(2), 1);
+        assert_eq!(map.of_qp(4), 0);
+        assert_eq!(map.of_qp(7), 1);
+        // Never more shards than devices, never zero.
+        assert_eq!(ShardMap::new(8, 4, 2).shards, 4);
+        assert_eq!(ShardMap::new(0, 4, 2).shards, 1);
+    }
+
+    #[test]
+    fn merge_tenants_folds_min_max_and_concats() {
+        let mut a = TenantAcc::new();
+        a.latencies.push(10);
+        a.first_arrival = Some(SimTime::from_ns(5));
+        a.last_completion = SimTime::from_ns(100);
+        let mut b = TenantAcc::new();
+        b.latencies.push(20);
+        b.first_arrival = Some(SimTime::from_ns(2));
+        b.last_completion = SimTime::from_ns(50);
+        let merged = merge_tenants(vec![vec![a], vec![b]]);
+        assert_eq!(merged[0].latencies, vec![10, 20]);
+        assert_eq!(merged[0].first_arrival, Some(SimTime::from_ns(2)));
+        assert_eq!(merged[0].last_completion, SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn occupancy_stats_match_meter_arithmetic() {
+        let mut m = OccupancyMeter::default();
+        m.update(SimTime::from_ns(0), 2);
+        m.update(SimTime::from_ns(100), 0);
+        let (mean, max) = occupancy_stats(&[m], SimTime::from_ns(200));
+        assert!((mean - 1.0).abs() < 1e-12, "{mean}");
+        assert_eq!(max, 2);
+        assert_eq!(occupancy_stats(&[], SimTime::from_ns(200)), (0.0, 0));
+    }
+}
