@@ -5,7 +5,9 @@
 //! dwells tile each request's end-to-end latency exactly, so every table's
 //! shares sum to 100%. Pass `--json` to also write `BENCH_breakdown.json`,
 //! `--trace-out <path>` to export the Optane run's spans as Chrome
-//! trace-event JSON (loadable in Perfetto or `chrome://tracing`), and
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`),
+//! `--timeline-out <path>` to export the Optane run's full timeline
+//! document (windowed telemetry + per-resource blame decomposition), and
 //! `--workers N` to run on the sharded engine (default 1 = inline; the
 //! output is bit-identical at every worker count).
 
@@ -15,7 +17,8 @@ use bam_bench::breakdown_exp::{
     BREAKDOWN_WRITES,
 };
 use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
-use bam_bench::{print_table, workers_arg};
+use bam_bench::timeline_exp::{breakdown_timeline_body, observed_breakdown_run};
+use bam_bench::{print_table, timeline_out_path, workers_arg};
 use bam_sim::chrome_trace_json;
 
 /// The path following `--trace-out`, if present.
@@ -70,6 +73,12 @@ fn main() {
     if let Some(path) = trace_out_path() {
         let trace = chrome_trace_json(&traced_events_with_workers(BREAKDOWN_SEED, workers));
         std::fs::write(&path, trace).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = timeline_out_path() {
+        let (report, telemetry) = observed_breakdown_run(BREAKDOWN_SEED, workers);
+        let body = breakdown_timeline_body(BREAKDOWN_SEED, &report, &telemetry);
+        std::fs::write(&path, format!("{body}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("wrote {path}");
     }
     if json_mode() {

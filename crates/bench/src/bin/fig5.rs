@@ -1,12 +1,17 @@
 //! Regenerates Figure 5: achieved bandwidth vs I/O granularity, BaM vs GDS.
+//! Pass `--json` to also write `BENCH_fig5.json` (the drift-gated
+//! trajectory file).
+use bam_bench::jsonout::{emit_bench_json, json_array, json_mode, JsonObject};
 use bam_bench::{micro_exp, print_table};
+
+const TOTAL_BYTES: u64 = 128 << 30;
 
 fn main() {
     let grans: Vec<u64> = [4, 8, 16, 32, 64, 128, 256]
         .iter()
         .map(|k| k * 1024)
         .collect();
-    let rows = micro_exp::figure5(128 << 30, &grans);
+    let rows = micro_exp::figure5(TOTAL_BYTES, &grans);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -22,4 +27,21 @@ fn main() {
         &["I/O granularity", "GDS", "BaM"],
         &table,
     );
+    if json_mode() {
+        let body = JsonObject::new()
+            .str("bench", "fig5")
+            .int("total_bytes", TOTAL_BYTES)
+            .raw(
+                "rows",
+                json_array(rows.iter().map(|r| {
+                    JsonObject::new()
+                        .int("io_bytes", r.io_bytes)
+                        .num("gds_utilization", r.gds_utilization)
+                        .num("bam_utilization", r.bam_utilization)
+                        .build()
+                })),
+            )
+            .build();
+        emit_bench_json("fig5", &body);
+    }
 }

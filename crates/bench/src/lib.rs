@@ -27,6 +27,7 @@
 //! | [`sim_exp::latency_cdf`] | Tail-latency CDFs per SSD technology (event-driven; extends Fig 9 / Table 2) |
 //! | [`sim_exp::tenant_matrix`] | Multi-tenant interference/fairness sweep (event-driven; beyond the paper) |
 //! | [`breakdown_exp::breakdown`] | Per-stage latency attribution + span traces (event-driven; beyond the paper) |
+//! | [`timeline_exp::timeline_run`] | Tail root-cause attribution: windowed telemetry, per-resource blame, SLO burn rates (beyond the paper) |
 //! | [`analytics_exp::figure12`] | Fig 12 (BaM vs RAPIDS, I/O amplification) |
 //! | [`misc_exp::figure13`] | Fig 13 (register usage) |
 //! | [`analytics_exp::figure14`] | Fig 14 (RAPIDS breakdown) |
@@ -46,6 +47,7 @@ pub mod misc_exp;
 pub mod recovery_exp;
 pub mod scale;
 pub mod sim_exp;
+pub mod timeline_exp;
 
 /// The worker count following `--workers` in the process arguments, or 1
 /// (the inline engine) when absent — the event-driven binaries take this
@@ -66,6 +68,25 @@ pub fn workers_arg() -> usize {
         }
     }
     1
+}
+
+/// The path following `--timeline-out` in the process arguments, or `None`
+/// when absent — the observability binaries take this flag to export the
+/// run's full timeline document (windowed telemetry + blame decomposition
+/// [+ SLO outcomes]) as JSON. The export is deterministic per seed and
+/// byte-identical at every `--workers` count.
+///
+/// # Panics
+///
+/// Panics if the flag is present without a path value.
+pub fn timeline_out_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--timeline-out" {
+            return Some(args.next().expect("--timeline-out needs a path"));
+        }
+    }
+    None
 }
 
 /// Prints a table of rows as aligned columns on stdout (shared by the

@@ -1,0 +1,398 @@
+//! Per-resource blame decomposition: which resource's queueing produced
+//! the tail.
+//!
+//! The engines stamp every request with one [`BlameMark`] per closed
+//! pipeline stage: the closing instant plus the stage's *service*
+//! nanoseconds — the time the resource actively worked on the request
+//! (the drawn media sample, the link occupancy, the fixed forwarding
+//! cost). Everything else in the stage's dwell is *wait*: time queued
+//! behind the resource. Because consecutive marks tile a request's life
+//! exactly (the same invariant the stage breakdown asserts), service plus
+//! wait across all stages reproduces the end-to-end latency to the
+//! nanosecond — blame attributes 100% of every request.
+//!
+//! [`BlameReport::build`] aggregates rows into per-stage service/wait
+//! histograms for the whole population and separately for the tail slice
+//! (requests above the population p99), and keeps a deterministic top-k
+//! exemplar list of the slowest requests with their full span waterfalls.
+//! All outputs are canonical: rows sort by request id before aggregation,
+//! so shard-concatenated inputs produce bit-identical reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histo::LatencyHisto;
+use crate::span::{Stage, STAGE_COUNT};
+
+/// One closed stage of one request: when it closed and how much of its
+/// dwell was active service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameMark {
+    /// The stage that closed.
+    pub stage: Stage,
+    /// Closing instant in virtual nanoseconds.
+    pub end_ns: u64,
+    /// Active service nanoseconds inside the stage's dwell; the remainder
+    /// is wait (queueing behind the resource).
+    pub service_ns: u64,
+}
+
+/// One request's complete blame record: arrival plus every stage mark in
+/// pipeline order. The marks tile `[arrive_ns, last mark]` exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameRow {
+    /// Global request index.
+    pub id: u64,
+    /// Arrival instant in virtual nanoseconds.
+    pub arrive_ns: u64,
+    /// Stage marks in closing order.
+    pub marks: Vec<BlameMark>,
+}
+
+impl BlameRow {
+    /// End-to-end latency: last stage close minus arrival (0 with no
+    /// marks).
+    pub fn latency_ns(&self) -> u64 {
+        self.marks
+            .last()
+            .map_or(0, |m| m.end_ns.saturating_sub(self.arrive_ns))
+    }
+}
+
+/// Per-stage service and wait histograms: where requests spent their time,
+/// split by whether the resource was working or they were queued.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameBreakdown {
+    service: Vec<LatencyHisto>,
+    wait: Vec<LatencyHisto>,
+}
+
+impl Default for BlameBreakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlameBreakdown {
+    /// A breakdown with one empty service and wait histogram per stage.
+    pub fn new() -> Self {
+        Self {
+            service: (0..STAGE_COUNT).map(|_| LatencyHisto::new()).collect(),
+            wait: (0..STAGE_COUNT).map(|_| LatencyHisto::new()).collect(),
+        }
+    }
+
+    /// Records one closed stage's service/wait split.
+    pub fn record(&mut self, stage: Stage, service_ns: u64, wait_ns: u64) {
+        self.service[stage.index()].record(service_ns);
+        self.wait[stage.index()].record(wait_ns);
+    }
+
+    /// Merges another breakdown stage-by-stage.
+    pub fn merge(&mut self, other: &BlameBreakdown) {
+        for (a, b) in self.service.iter_mut().zip(&other.service) {
+            a.merge(b);
+        }
+        for (a, b) in self.wait.iter_mut().zip(&other.wait) {
+            a.merge(b);
+        }
+    }
+
+    /// The service-time histogram of one stage.
+    pub fn service_histo(&self, stage: Stage) -> &LatencyHisto {
+        &self.service[stage.index()]
+    }
+
+    /// The wait-time histogram of one stage.
+    pub fn wait_histo(&self, stage: Stage) -> &LatencyHisto {
+        &self.wait[stage.index()]
+    }
+
+    /// Total service nanoseconds attributed to one stage.
+    pub fn service_ns(&self, stage: Stage) -> u64 {
+        self.service[stage.index()].sum_ns()
+    }
+
+    /// Total wait nanoseconds attributed to one stage.
+    pub fn wait_ns(&self, stage: Stage) -> u64 {
+        self.wait[stage.index()].sum_ns()
+    }
+
+    /// Total wait nanoseconds across all stages.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.wait.iter().map(|h| h.sum_ns()).sum()
+    }
+
+    /// Total attributed nanoseconds (service + wait) across all stages —
+    /// equals the summed end-to-end latency of the recorded requests.
+    pub fn total_ns(&self) -> u64 {
+        self.service.iter().map(|h| h.sum_ns()).sum::<u64>() + self.total_wait_ns()
+    }
+
+    /// True when no stage has any samples.
+    pub fn is_empty(&self) -> bool {
+        self.service.iter().all(|h| h.is_empty())
+    }
+
+    /// Stages that recorded at least one sample, in pipeline order.
+    pub fn active_stages(&self) -> impl Iterator<Item = Stage> + '_ {
+        Stage::ALL
+            .into_iter()
+            .filter(|s| !self.service[s.index()].is_empty())
+    }
+}
+
+/// One step of an exemplar's span waterfall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaterfallStep {
+    /// The stage.
+    pub stage: Stage,
+    /// Stage start (previous boundary) in nanoseconds.
+    pub start_ns: u64,
+    /// Stage end in nanoseconds.
+    pub end_ns: u64,
+    /// Active service inside the stage.
+    pub service_ns: u64,
+    /// Queueing wait inside the stage.
+    pub wait_ns: u64,
+}
+
+/// One of the slowest requests, with its full per-stage waterfall.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Global request index.
+    pub id: u64,
+    /// Arrival instant in nanoseconds.
+    pub arrive_ns: u64,
+    /// End-to-end latency in nanoseconds.
+    pub latency_ns: u64,
+    /// The request's stages in closing order; steps tile
+    /// `[arrive_ns, arrive_ns + latency_ns]` exactly.
+    pub waterfall: Vec<WaterfallStep>,
+}
+
+/// The aggregated blame decomposition of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameReport {
+    /// Requests decomposed.
+    pub requests: u64,
+    /// The population p99 latency the tail slice is cut at.
+    pub p99_cut_ns: u64,
+    /// Requests strictly above the p99 cut.
+    pub tail_requests: u64,
+    /// Service/wait breakdown over every request.
+    pub overall: BlameBreakdown,
+    /// Service/wait breakdown over the tail slice alone.
+    pub tail: BlameBreakdown,
+    /// The slowest requests (latency descending, id ascending on ties),
+    /// at most the builder's `top_k`.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl BlameReport {
+    /// Builds the canonical report from per-request rows.
+    ///
+    /// Rows may arrive in any order (the sharded engine concatenates
+    /// per-shard slices): they are sorted by request id first, so the
+    /// output is a pure function of the row *set*. Each row's dwell is
+    /// measured boundary-to-boundary, service is clamped to the dwell, and
+    /// the remainder is wait — service + wait tiles the row's latency
+    /// exactly.
+    pub fn build(mut rows: Vec<BlameRow>, top_k: usize) -> Self {
+        rows.sort_unstable_by_key(|r| r.id);
+        let histo = LatencyHisto::from_samples(rows.iter().map(BlameRow::latency_ns));
+        let p99_cut_ns = histo.value_at_quantile(0.99);
+
+        let mut overall = BlameBreakdown::new();
+        let mut tail = BlameBreakdown::new();
+        let mut tail_requests = 0u64;
+        for row in &rows {
+            let in_tail = row.latency_ns() > p99_cut_ns;
+            if in_tail {
+                tail_requests += 1;
+            }
+            let mut prev = row.arrive_ns;
+            for mark in &row.marks {
+                let dwell = mark.end_ns.saturating_sub(prev);
+                let service = mark.service_ns.min(dwell);
+                let wait = dwell - service;
+                overall.record(mark.stage, service, wait);
+                if in_tail {
+                    tail.record(mark.stage, service, wait);
+                }
+                prev = mark.end_ns;
+            }
+        }
+
+        // Top-k slowest: latency descending, id ascending on ties — a total
+        // order, so the exemplar list is deterministic for any input order.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            rows[b]
+                .latency_ns()
+                .cmp(&rows[a].latency_ns())
+                .then(rows[a].id.cmp(&rows[b].id))
+        });
+        let exemplars = order
+            .into_iter()
+            .take(top_k)
+            .map(|i| {
+                let row = &rows[i];
+                let mut prev = row.arrive_ns;
+                let waterfall = row
+                    .marks
+                    .iter()
+                    .map(|mark| {
+                        let dwell = mark.end_ns.saturating_sub(prev);
+                        let service = mark.service_ns.min(dwell);
+                        let step = WaterfallStep {
+                            stage: mark.stage,
+                            start_ns: prev,
+                            end_ns: mark.end_ns,
+                            service_ns: service,
+                            wait_ns: dwell - service,
+                        };
+                        prev = mark.end_ns;
+                        step
+                    })
+                    .collect();
+                Exemplar {
+                    id: row.id,
+                    arrive_ns: row.arrive_ns,
+                    latency_ns: row.latency_ns(),
+                    waterfall,
+                }
+            })
+            .collect();
+
+        Self {
+            requests: rows.len() as u64,
+            p99_cut_ns,
+            tail_requests,
+            overall,
+            tail,
+            exemplars,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, arrive: u64, marks: &[(Stage, u64, u64)]) -> BlameRow {
+        BlameRow {
+            id,
+            arrive_ns: arrive,
+            marks: marks
+                .iter()
+                .map(|&(stage, end_ns, service_ns)| BlameMark {
+                    stage,
+                    end_ns,
+                    service_ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn service_plus_wait_tiles_latency_exactly() {
+        let r = row(
+            0,
+            100,
+            &[
+                (Stage::QueuePair, 400, 50),
+                (Stage::Media, 1_400, 700),
+                (Stage::Completion, 1_450, 50),
+            ],
+        );
+        assert_eq!(r.latency_ns(), 1_350);
+        let report = BlameReport::build(vec![r], 4);
+        assert_eq!(report.overall.total_ns(), 1_350);
+        assert_eq!(report.overall.service_ns(Stage::QueuePair), 50);
+        assert_eq!(report.overall.wait_ns(Stage::QueuePair), 250);
+        assert_eq!(report.overall.service_ns(Stage::Media), 700);
+        assert_eq!(report.overall.wait_ns(Stage::Media), 300);
+        assert_eq!(report.overall.wait_ns(Stage::Completion), 0);
+        // The exemplar waterfall tiles the same interval.
+        let ex = &report.exemplars[0];
+        assert_eq!(ex.latency_ns, 1_350);
+        assert_eq!(ex.waterfall[0].start_ns, 100);
+        assert_eq!(ex.waterfall.last().unwrap().end_ns, 1_450);
+        for w in ex.waterfall.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn service_clamps_to_dwell() {
+        // A declared service larger than the dwell cannot go negative.
+        let r = row(0, 0, &[(Stage::Media, 100, 500)]);
+        let report = BlameReport::build(vec![r], 1);
+        assert_eq!(report.overall.service_ns(Stage::Media), 100);
+        assert_eq!(report.overall.wait_ns(Stage::Media), 0);
+        assert_eq!(report.overall.total_ns(), 100);
+    }
+
+    #[test]
+    fn build_is_invariant_under_row_order() {
+        let rows: Vec<BlameRow> = (0..50u64)
+            .map(|i| {
+                row(
+                    i,
+                    i * 10,
+                    &[
+                        (Stage::QueuePair, i * 10 + 100 + i, 40),
+                        (Stage::Media, i * 10 + 1_000 + 7 * i, 600),
+                    ],
+                )
+            })
+            .collect();
+        let forward = BlameReport::build(rows.clone(), 8);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        assert_eq!(forward, BlameReport::build(reversed, 8));
+        // An interleaved two-way split, concatenated backwards.
+        let (even, odd): (Vec<_>, Vec<_>) = rows.into_iter().partition(|r| r.id % 2 == 0);
+        let concat: Vec<BlameRow> = odd.into_iter().chain(even).collect();
+        assert_eq!(forward, BlameReport::build(concat, 8));
+    }
+
+    #[test]
+    fn tail_slice_cuts_at_the_population_p99() {
+        // 99 fast requests and one slow one: the slow request alone is the
+        // tail, and its wait dominates the tail breakdown.
+        let mut rows: Vec<BlameRow> = (0..99u64)
+            .map(|i| row(i, 0, &[(Stage::Media, 1_000, 900)]))
+            .collect();
+        rows.push(row(99, 0, &[(Stage::Media, 50_000, 900)]));
+        let report = BlameReport::build(rows, 2);
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.tail_requests, 1);
+        assert_eq!(report.tail.wait_ns(Stage::Media), 49_100);
+        assert_eq!(report.exemplars[0].id, 99);
+        assert_eq!(report.exemplars[0].latency_ns, 50_000);
+        assert_eq!(report.exemplars.len(), 2);
+        assert_eq!(report.exemplars[1].latency_ns, 1_000);
+    }
+
+    #[test]
+    fn exemplar_ties_break_by_ascending_id() {
+        let rows: Vec<BlameRow> = (0..10u64)
+            .map(|i| row(9 - i, 0, &[(Stage::Media, 1_000, 1_000)]))
+            .collect();
+        let report = BlameReport::build(rows, 3);
+        let ids: Vec<u64> = report.exemplars.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_builds_an_empty_report() {
+        let report = BlameReport::build(Vec::new(), 4);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.tail_requests, 0);
+        assert_eq!(report.p99_cut_ns, 0);
+        assert!(report.overall.is_empty());
+        assert!(report.tail.is_empty());
+        assert!(report.exemplars.is_empty());
+    }
+}

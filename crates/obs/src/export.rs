@@ -40,12 +40,57 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
     out
 }
 
+/// Escapes a HELP string per the Prometheus text format: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`.
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value (same escape set as [`escape_help`]).
+fn escape_label(value: &str) -> String {
+    escape_help(value)
+}
+
+/// Renders a label set as `{k="v",...}` (empty string for no labels).
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The conventional counter suffix; appended when a counter name lacks it.
+fn counter_name(name: &str) -> String {
+    if name.ends_with("_total") {
+        name.to_string()
+    } else {
+        format!("{name}_total")
+    }
+}
+
 /// Incremental Prometheus text-exposition writer.
 ///
-/// The caller decides the metric families; this type only guarantees the
-/// format (HELP/TYPE headers, label rendering, cumulative `le` buckets with
-/// a closing `+Inf`). Values render via `Debug`, matching the repo's JSON
-/// convention that integral floats keep their `.0`.
+/// The caller decides the metric families; this type guarantees the
+/// format: HELP strings escape `\`, `"`, and newlines; counters carry the
+/// conventional `_total` suffix (appended when missing, never doubled);
+/// label values escape the same set; histogram families emit cumulative
+/// `le` buckets with a closing `+Inf`; and [`finish`](Self::finish) ends
+/// the exposition with exactly one trailing newline. Values render via
+/// `Debug`, matching the repo's JSON convention that integral floats keep
+/// their `.0`.
 #[derive(Default)]
 pub struct PromWriter {
     out: String,
@@ -58,20 +103,44 @@ impl PromWriter {
     }
 
     fn header(&mut self, name: &str, help: &str, kind: &str) {
-        self.out
-            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        self.out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} {kind}\n",
+            escape_help(help)
+        ));
     }
 
-    /// A monotone counter sample.
+    /// A monotone counter sample. The name gains a `_total` suffix when it
+    /// does not already carry one.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
-        self.header(name, help, "counter");
+        let name = counter_name(name);
+        self.header(&name, help, "counter");
         self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A counter family with one labelled sample per entry (`_total`
+    /// suffix applied as in [`counter`](Self::counter)).
+    pub fn counter_family(&mut self, name: &str, help: &str, samples: &[(&[(&str, &str)], u64)]) {
+        let name = counter_name(name);
+        self.header(&name, help, "counter");
+        for (labels, value) in samples {
+            self.out
+                .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+        }
     }
 
     /// A gauge sample.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
         self.header(name, help, "gauge");
         self.out.push_str(&format!("{name} {value:?}\n"));
+    }
+
+    /// A gauge family with one labelled sample per entry.
+    pub fn gauge_family(&mut self, name: &str, help: &str, samples: &[(&[(&str, &str)], f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in samples {
+            self.out
+                .push_str(&format!("{name}{} {value:?}\n", render_labels(labels)));
+        }
     }
 
     /// A histogram family from a [`LatencyHisto`]: one `_bucket` series per
@@ -91,9 +160,17 @@ impl PromWriter {
         ));
     }
 
-    /// The accumulated exposition text.
+    /// The accumulated exposition text, guaranteed to end with exactly one
+    /// trailing newline.
     pub fn finish(self) -> String {
-        self.out
+        let mut out = self.out;
+        while out.ends_with("\n\n") {
+            out.pop();
+        }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -157,5 +234,64 @@ mod tests {
         assert!(text.contains("bam_fetch_latency_ns_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("bam_fetch_latency_ns_sum 2020\n"));
         assert!(text.contains("bam_fetch_latency_ns_count 3\n"));
+    }
+
+    #[test]
+    fn counters_gain_the_total_suffix_exactly_once() {
+        let mut w = PromWriter::new();
+        w.counter("bam_reads", "Reads.", 3);
+        w.counter("bam_writes_total", "Writes.", 4);
+        let text = w.finish();
+        assert!(text.contains("# TYPE bam_reads_total counter"));
+        assert!(text.contains("bam_reads_total 3\n"));
+        // Already-suffixed names are untouched, never doubled.
+        assert!(text.contains("bam_writes_total 4\n"));
+        assert!(!text.contains("bam_writes_total_total"));
+    }
+
+    #[test]
+    fn help_strings_escape_backslash_quote_and_newline() {
+        let mut w = PromWriter::new();
+        w.gauge("bam_g", "line one\nline \"two\" with \\ slash", 1.0);
+        let text = w.finish();
+        assert!(
+            text.contains("# HELP bam_g line one\\nline \\\"two\\\" with \\\\ slash\n"),
+            "{text:?}"
+        );
+        // No raw newline survives inside the HELP line.
+        let help_line = text.lines().next().unwrap();
+        assert!(help_line.starts_with("# HELP bam_g "));
+        assert!(!help_line.contains('\"') || help_line.contains("\\\""));
+    }
+
+    #[test]
+    fn labelled_families_render_escaped_label_values() {
+        let mut w = PromWriter::new();
+        let steady: &[(&str, &str)] = &[("tenant", "steady-0"), ("policy", "shared")];
+        let odd: &[(&str, &str)] = &[("tenant", "we\"ird\\name")];
+        w.gauge_family(
+            "bam_slo_burn_rate",
+            "Burn rate.",
+            &[(steady, 1.5), (odd, 0.0)],
+        );
+        w.counter_family("bam_slo_violations", "Violations.", &[(steady, 2)]);
+        let text = w.finish();
+        assert!(text.contains("bam_slo_burn_rate{tenant=\"steady-0\",policy=\"shared\"} 1.5\n"));
+        assert!(text.contains("bam_slo_burn_rate{tenant=\"we\\\"ird\\\\name\"} 0.0\n"));
+        assert!(
+            text.contains("bam_slo_violations_total{tenant=\"steady-0\",policy=\"shared\"} 2\n")
+        );
+        // One header per family, not per sample.
+        assert_eq!(text.matches("# TYPE bam_slo_burn_rate gauge").count(), 1);
+    }
+
+    #[test]
+    fn finish_guarantees_exactly_one_trailing_newline() {
+        assert_eq!(PromWriter::new().finish(), "\n");
+        let mut w = PromWriter::new();
+        w.counter("bam_x", "X.", 1);
+        let text = w.finish();
+        assert!(text.ends_with('\n'));
+        assert!(!text.ends_with("\n\n"));
     }
 }

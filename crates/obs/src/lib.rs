@@ -13,17 +13,29 @@
 //! * Exporters — Prometheus text exposition ([`PromWriter`]) and Chrome
 //!   trace-event JSON ([`chrome_trace_json`], loadable in Perfetto or
 //!   `chrome://tracing`).
+//! * [`WindowedSeries`] — fixed virtual-time telemetry windows with a
+//!   commutative merge, plus the SLO layer on top ([`SloSpec`],
+//!   [`evaluate_slo`]) and the functional stack's [`TelemetrySink`].
+//! * [`BlameReport`] — per-resource service/wait decomposition of every
+//!   request's latency, tail-slice breakdowns, and deterministic slowest-
+//!   request exemplars.
 //!
 //! The crate deliberately depends on nothing but the serde markers: both
 //! stack layers and the bench harness can pull it in without cycles.
 
+mod blame;
 mod export;
 mod histo;
 mod span;
+mod timeseries;
 
+pub use blame::{BlameBreakdown, BlameMark, BlameReport, BlameRow, Exemplar, WaterfallStep};
 pub use export::{chrome_trace_json, PromWriter};
 pub use histo::{LatencyHisto, HISTO_BUCKETS};
 pub use span::{
     merge_indexed_spans, SpanEvent, SpanId, SpanRecorder, SpanSink, Stage, StageBreakdown,
     STAGE_COUNT,
+};
+pub use timeseries::{
+    evaluate_slo, SloReport, SloSpec, TelemetryHub, TelemetrySink, WindowStats, WindowedSeries,
 };

@@ -1,0 +1,619 @@
+//! Windowed telemetry: fixed virtual-time aggregation windows, the SLO
+//! evaluation layer on top of them, and a shareable telemetry sink for the
+//! functional stack.
+//!
+//! A [`WindowedSeries`] cuts virtual time into fixed windows of
+//! `window_ns` nanoseconds and accumulates order-independent statistics per
+//! window: arrival/completion counters, a completion-latency histogram,
+//! per-stage dwell and wait sums, queue-depth and occupancy samples, cache
+//! hit/miss counters, and the journal backlog high-water mark. Every field
+//! is an integer add or max (the histogram is an element-wise counter sum),
+//! so [`WindowedSeries::merge`] is commutative and associative — per-SSD
+//! shards fold in any order and the result is bit-identical to a
+//! single-threaded recording of the same events.
+//!
+//! [`SloSpec`] + [`evaluate_slo`] turn a series into an [`SloReport`]: how
+//! many evaluation windows broke the tenant's p99 target, how many
+//! individual completions exceeded it, and the burn rate — the rate the
+//! tenant consumes its 1% tail error budget (1.0 = exactly on budget,
+//! above 1.0 the budget depletes early).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::histo::LatencyHisto;
+use crate::span::{Stage, STAGE_COUNT};
+
+/// One window's worth of accumulated telemetry. Every field is either a sum
+/// or a max of `u64`s (the histogram is an element-wise counter sum), so
+/// merging two `WindowStats` is commutative and associative.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Requests that arrived in this window.
+    pub arrivals: u64,
+    /// Requests that completed in this window.
+    pub completions: u64,
+    /// End-to-end latencies of the window's completions.
+    pub latency: LatencyHisto,
+    /// Per-stage dwell nanoseconds closed in this window
+    /// (indexed by [`Stage::index`]).
+    pub stage_dwell_ns: Vec<u64>,
+    /// Per-stage wait (dwell minus service) nanoseconds closed in this
+    /// window (indexed by [`Stage::index`]).
+    pub stage_wait_ns: Vec<u64>,
+    /// Sum of sampled queue-pair occupancies.
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples.
+    pub occupancy_samples: u64,
+    /// Largest sampled queue-pair occupancy.
+    pub occupancy_max: u64,
+    /// Sum of sampled in-flight depths.
+    pub depth_sum: u64,
+    /// Number of depth samples.
+    pub depth_samples: u64,
+    /// Largest sampled in-flight depth.
+    pub depth_max: u64,
+    /// Cache probe hits observed in this window.
+    pub cache_hits: u64,
+    /// Cache probe misses observed in this window.
+    pub cache_misses: u64,
+    /// Journal backlog (outstanding records) high-water mark.
+    pub journal_backlog_max: u64,
+}
+
+impl Default for WindowStats {
+    fn default() -> Self {
+        Self {
+            arrivals: 0,
+            completions: 0,
+            latency: LatencyHisto::new(),
+            stage_dwell_ns: vec![0; STAGE_COUNT],
+            stage_wait_ns: vec![0; STAGE_COUNT],
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+            occupancy_max: 0,
+            depth_sum: 0,
+            depth_samples: 0,
+            depth_max: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            journal_backlog_max: 0,
+        }
+    }
+}
+
+impl WindowStats {
+    fn merge(&mut self, other: &WindowStats) {
+        self.arrivals += other.arrivals;
+        self.completions += other.completions;
+        self.latency.merge(&other.latency);
+        for (a, b) in self.stage_dwell_ns.iter_mut().zip(&other.stage_dwell_ns) {
+            *a += b;
+        }
+        for (a, b) in self.stage_wait_ns.iter_mut().zip(&other.stage_wait_ns) {
+            *a += b;
+        }
+        self.occupancy_sum += other.occupancy_sum;
+        self.occupancy_samples += other.occupancy_samples;
+        self.occupancy_max = self.occupancy_max.max(other.occupancy_max);
+        self.depth_sum += other.depth_sum;
+        self.depth_samples += other.depth_samples;
+        self.depth_max = self.depth_max.max(other.depth_max);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.journal_backlog_max = self.journal_backlog_max.max(other.journal_backlog_max);
+    }
+
+    /// Cache hit rate over the window's probes (0.0 when no probes).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+
+    /// Mean sampled in-flight depth (0.0 when no samples).
+    pub fn depth_mean(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+
+    /// Mean sampled queue-pair occupancy (0.0 when no samples).
+    pub fn occupancy_mean(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+}
+
+/// Fixed-window virtual-time telemetry aggregator.
+///
+/// Windows are keyed by `timestamp / window_ns` in a sorted map, so only
+/// windows that saw an event cost memory and iteration is in time order.
+/// A `window_ns` of zero disables the series: every `record_*` call is a
+/// no-op and the series stays empty (the engines use this for runs without
+/// telemetry so the record path costs one branch).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedSeries {
+    window_ns: u64,
+    windows: BTreeMap<u64, WindowStats>,
+}
+
+impl WindowedSeries {
+    /// A series cutting time into `window_ns`-sized windows (0 disables).
+    pub fn new(window_ns: u64) -> Self {
+        Self {
+            window_ns,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window size in nanoseconds (0 = disabled).
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// True when recording is disabled (`window_ns == 0`).
+    pub fn is_disabled(&self) -> bool {
+        self.window_ns == 0
+    }
+
+    /// Number of windows that saw at least one event.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window saw any event.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    #[inline]
+    fn window(&mut self, at_ns: u64) -> Option<&mut WindowStats> {
+        if self.window_ns == 0 {
+            return None;
+        }
+        Some(self.windows.entry(at_ns / self.window_ns).or_default())
+    }
+
+    /// Records one request arrival at `at_ns`.
+    pub fn record_arrival(&mut self, at_ns: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.arrivals += 1;
+        }
+    }
+
+    /// Records one request completion at `at_ns` with its end-to-end
+    /// latency.
+    pub fn record_completion(&mut self, at_ns: u64, latency_ns: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.completions += 1;
+            w.latency.record(latency_ns);
+        }
+    }
+
+    /// Attributes one closed stage (dwell and its wait share) to the window
+    /// of the stage's closing instant.
+    pub fn record_stage(&mut self, at_ns: u64, stage: Stage, dwell_ns: u64, wait_ns: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.stage_dwell_ns[stage.index()] += dwell_ns;
+            w.stage_wait_ns[stage.index()] += wait_ns;
+        }
+    }
+
+    /// Records one queue-pair occupancy sample.
+    pub fn record_occupancy(&mut self, at_ns: u64, occupancy: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.occupancy_sum += occupancy;
+            w.occupancy_samples += 1;
+            w.occupancy_max = w.occupancy_max.max(occupancy);
+        }
+    }
+
+    /// Records one in-flight depth sample.
+    pub fn record_depth(&mut self, at_ns: u64, depth: u32) {
+        if let Some(w) = self.window(at_ns) {
+            w.depth_sum += u64::from(depth);
+            w.depth_samples += 1;
+            w.depth_max = w.depth_max.max(u64::from(depth));
+        }
+    }
+
+    /// Records one cache probe outcome.
+    pub fn record_cache(&mut self, at_ns: u64, hit: bool) {
+        if let Some(w) = self.window(at_ns) {
+            if hit {
+                w.cache_hits += 1;
+            } else {
+                w.cache_misses += 1;
+            }
+        }
+    }
+
+    /// Records the journal backlog (outstanding records) observed at
+    /// `at_ns`; the window keeps the high-water mark.
+    pub fn record_journal_backlog(&mut self, at_ns: u64, records: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.journal_backlog_max = w.journal_backlog_max.max(records);
+        }
+    }
+
+    /// Merges another series recorded with the same `window_ns`. The merge
+    /// is commutative and associative: folding any partition of an event
+    /// stream in any order reproduces the single-recorder series exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window sizes differ — merging incompatible series
+    /// is a logic error, not a recoverable state.
+    pub fn merge(&mut self, other: &WindowedSeries) {
+        assert_eq!(
+            self.window_ns, other.window_ns,
+            "cannot merge series with different window sizes"
+        );
+        for (idx, stats) in &other.windows {
+            self.windows.entry(*idx).or_default().merge(stats);
+        }
+    }
+
+    /// Iterates the populated windows in time order as
+    /// `(window start ns, stats)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &WindowStats)> + '_ {
+        self.windows
+            .iter()
+            .map(|(idx, w)| (idx * self.window_ns, w))
+    }
+}
+
+/// A tenant's service-level objective: a p99 latency target checked over
+/// fixed evaluation windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Target 99th-percentile latency in microseconds.
+    pub target_p99_us: f64,
+    /// Evaluation window in virtual nanoseconds.
+    pub window_ns: u64,
+}
+
+/// The outcome of evaluating an [`SloSpec`] over a [`WindowedSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The evaluated target, echoed for reports.
+    pub target_p99_us: f64,
+    /// The evaluation window, echoed for reports.
+    pub window_ns: u64,
+    /// Windows that saw at least one completion.
+    pub windows: u64,
+    /// Windows whose p99 exceeded the target.
+    pub violations: u64,
+    /// Total completions across all windows.
+    pub completions: u64,
+    /// Completions whose latency exceeded the target (histogram-resolved:
+    /// counted from buckets entirely above the target, so within the
+    /// histogram's ≤ ~1.6% bucket error of the exact count).
+    pub over_target: u64,
+    /// Rate of tail-budget consumption against a 1% error budget:
+    /// `(over_target / completions) / 0.01`. 1.0 means the tenant breaks
+    /// its target on exactly 1% of requests; 2.0 burns the budget twice as
+    /// fast. 0.0 when no requests completed.
+    pub burn_rate: f64,
+    /// The worst window's p99 in microseconds (0.0 when no windows).
+    pub worst_window_p99_us: f64,
+    /// Start of the worst window in nanoseconds (earliest on ties).
+    pub worst_window_start_ns: u64,
+}
+
+/// The error budget the burn rate is measured against: a p99 target
+/// tolerates 1% of requests over the line.
+const SLO_ERROR_BUDGET: f64 = 0.01;
+
+/// Evaluates `spec` over the completion telemetry of `series`.
+///
+/// A window counts as a violation when the p99 of its own completions
+/// exceeds the target. The burn rate is population-based (per-request, not
+/// per-window), so a single catastrophic window and a uniform trickle of
+/// stragglers read on the same scale.
+///
+/// `series` must have been recorded with `spec.window_ns` (the engines
+/// guarantee this by constructing the series from the spec).
+pub fn evaluate_slo(series: &WindowedSeries, spec: &SloSpec) -> SloReport {
+    let target_ns = (spec.target_p99_us * 1e3).round().max(0.0) as u64;
+    let mut windows = 0u64;
+    let mut violations = 0u64;
+    let mut completions = 0u64;
+    let mut over_target = 0u64;
+    let mut worst_p99_ns = 0u64;
+    let mut worst_start_ns = 0u64;
+    let mut seen_any = false;
+    for (start_ns, stats) in series.iter() {
+        if stats.completions == 0 {
+            continue;
+        }
+        windows += 1;
+        completions += stats.completions;
+        over_target += stats.latency.count_above(target_ns);
+        let p99_ns = stats.latency.value_at_quantile(0.99);
+        if p99_ns as f64 / 1e3 > spec.target_p99_us {
+            violations += 1;
+        }
+        if !seen_any || p99_ns > worst_p99_ns {
+            seen_any = true;
+            worst_p99_ns = p99_ns;
+            worst_start_ns = start_ns;
+        }
+    }
+    SloReport {
+        target_p99_us: spec.target_p99_us,
+        window_ns: spec.window_ns,
+        windows,
+        violations,
+        completions,
+        over_target,
+        burn_rate: if completions == 0 {
+            0.0
+        } else {
+            (over_target as f64 / completions as f64) / SLO_ERROR_BUDGET
+        },
+        worst_window_p99_us: worst_p99_ns as f64 / 1e3,
+        worst_window_start_ns: worst_start_ns,
+    }
+}
+
+/// A [`TelemetryHub`] timestamps functional-layer telemetry with its own
+/// step counter (the same virtual-time convention [`crate::SpanRecorder`]
+/// uses) and accumulates it into a [`WindowedSeries`].
+pub struct TelemetryHub {
+    series: Mutex<WindowedSeries>,
+    steps: AtomicU64,
+}
+
+impl TelemetryHub {
+    /// A hub windowing its step clock into `window_steps`-sized windows.
+    pub fn new(window_steps: u64) -> Self {
+        Self {
+            series: Mutex::new(WindowedSeries::new(window_steps)),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the virtual step clock and returns the new time.
+    pub fn tick(&self) -> u64 {
+        self.steps.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current virtual step time without advancing it.
+    pub fn now(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Records one cache probe outcome at the next step instant.
+    pub fn cache_access(&self, hit: bool) {
+        let at = self.tick();
+        self.series.lock().unwrap().record_cache(at, hit);
+    }
+
+    /// Records the journal backlog observed at the next step instant.
+    pub fn journal_backlog(&self, records: u64) {
+        let at = self.tick();
+        self.series
+            .lock()
+            .unwrap()
+            .record_journal_backlog(at, records);
+    }
+
+    /// A snapshot of the accumulated series.
+    pub fn snapshot(&self) -> WindowedSeries {
+        self.series.lock().unwrap().clone()
+    }
+}
+
+#[derive(Default)]
+struct TelemetrySinkInner {
+    hub: RwLock<Option<Arc<TelemetryHub>>>,
+    installed: AtomicBool,
+}
+
+/// A shareable, optionally-populated handle to a [`TelemetryHub`] —
+/// the windowed-telemetry counterpart of [`crate::SpanSink`].
+///
+/// Hot paths check one relaxed atomic before touching the lock, so an
+/// uninstalled sink costs a single predictable branch. Cloning shares the
+/// same slot — install once on a system handle and every component holding
+/// a clone starts reporting.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    inner: Arc<TelemetrySinkInner>,
+}
+
+impl TelemetrySink {
+    /// An empty (uninstalled) sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a hub; subsequent [`with`](Self::with) calls see it.
+    pub fn install(&self, hub: Arc<TelemetryHub>) {
+        *self.inner.hub.write().unwrap() = Some(hub);
+        self.inner.installed.store(true, Ordering::Release);
+    }
+
+    /// Removes the hub, returning the sink to its no-op state.
+    pub fn uninstall(&self) {
+        self.inner.installed.store(false, Ordering::Release);
+        *self.inner.hub.write().unwrap() = None;
+    }
+
+    /// True when a hub is installed (single relaxed load).
+    pub fn is_installed(&self) -> bool {
+        self.inner.installed.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` against the hub when installed; no-op otherwise.
+    pub fn with<R>(&self, f: impl FnOnce(&TelemetryHub) -> R) -> Option<R> {
+        if !self.is_installed() {
+            return None;
+        }
+        let guard = self.inner.hub.read().unwrap();
+        guard.as_ref().map(|h| f(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> WindowedSeries {
+        let mut s = WindowedSeries::new(1_000);
+        s.record_arrival(100);
+        s.record_arrival(1_100);
+        s.record_completion(900, 800);
+        s.record_completion(1_900, 1_600);
+        s.record_stage(900, Stage::Media, 500, 100);
+        s.record_stage(1_900, Stage::Media, 700, 300);
+        s.record_occupancy(100, 3);
+        s.record_occupancy(150, 5);
+        s.record_depth(100, 2);
+        s.record_cache(100, true);
+        s.record_cache(120, false);
+        s.record_journal_backlog(1_500, 7);
+        s
+    }
+
+    #[test]
+    fn windows_are_keyed_by_fixed_boundaries() {
+        let s = sample_series();
+        let windows: Vec<(u64, &WindowStats)> = s.iter().collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0, 0);
+        assert_eq!(windows[1].0, 1_000);
+        assert_eq!(windows[0].1.arrivals, 1);
+        assert_eq!(windows[0].1.completions, 1);
+        assert_eq!(windows[0].1.stage_dwell_ns[Stage::Media.index()], 500);
+        assert_eq!(windows[0].1.stage_wait_ns[Stage::Media.index()], 100);
+        assert_eq!(windows[0].1.occupancy_max, 5);
+        assert_eq!(windows[0].1.occupancy_sum, 8);
+        assert_eq!(windows[0].1.cache_hits, 1);
+        assert_eq!(windows[0].1.cache_misses, 1);
+        assert!((windows[0].1.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(windows[1].1.journal_backlog_max, 7);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_single_recorder() {
+        let full = sample_series();
+        // Split the same events across two series.
+        let mut a = WindowedSeries::new(1_000);
+        a.record_arrival(100);
+        a.record_completion(1_900, 1_600);
+        a.record_stage(900, Stage::Media, 500, 100);
+        a.record_occupancy(150, 5);
+        a.record_cache(120, false);
+        let mut b = WindowedSeries::new(1_000);
+        b.record_arrival(1_100);
+        b.record_completion(900, 800);
+        b.record_stage(1_900, Stage::Media, 700, 300);
+        b.record_occupancy(100, 3);
+        b.record_depth(100, 2);
+        b.record_cache(100, true);
+        b.record_journal_backlog(1_500, 7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, full, "merge must equal the single-recorder series");
+    }
+
+    #[test]
+    #[should_panic(expected = "different window sizes")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = WindowedSeries::new(1_000);
+        let b = WindowedSeries::new(2_000);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_window_disables_recording() {
+        let mut s = WindowedSeries::new(0);
+        assert!(s.is_disabled());
+        s.record_arrival(100);
+        s.record_completion(200, 100);
+        s.record_depth(100, 4);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn slo_counts_violating_windows_and_burn_rate() {
+        let mut s = WindowedSeries::new(1_000_000);
+        // Window 0: 99 fast + 1 slow → p99 at the fast value, one request
+        // over target.
+        for i in 0..99u64 {
+            s.record_completion(i * 1_000, 50_000);
+        }
+        s.record_completion(200_000, 400_000);
+        // Window 1: all slow → violating window.
+        for i in 0..100u64 {
+            s.record_completion(1_000_000 + i * 1_000, 300_000);
+        }
+        let spec = SloSpec {
+            target_p99_us: 100.0,
+            window_ns: 1_000_000,
+        };
+        let report = evaluate_slo(&s, &spec);
+        assert_eq!(report.windows, 2);
+        assert_eq!(report.violations, 1);
+        assert_eq!(report.completions, 200);
+        assert_eq!(report.over_target, 101);
+        // 101 of 200 over target against a 1% budget.
+        assert!((report.burn_rate - (101.0 / 200.0) / 0.01).abs() < 1e-9);
+        assert!(report.worst_window_p99_us > 100.0);
+        assert_eq!(report.worst_window_start_ns, 1_000_000);
+    }
+
+    #[test]
+    fn slo_on_empty_series_is_zeroed_and_nan_free() {
+        let spec = SloSpec {
+            target_p99_us: 100.0,
+            window_ns: 1_000_000,
+        };
+        let report = evaluate_slo(&WindowedSeries::new(1_000_000), &spec);
+        assert_eq!(report.windows, 0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.completions, 0);
+        assert_eq!(report.burn_rate, 0.0);
+        assert_eq!(report.worst_window_p99_us, 0.0);
+        assert!(!report.burn_rate.is_nan());
+    }
+
+    #[test]
+    fn telemetry_sink_is_noop_until_installed() {
+        let sink = TelemetrySink::new();
+        assert!(!sink.is_installed());
+        assert_eq!(sink.with(|_| 1), None);
+        let hub = Arc::new(TelemetryHub::new(16));
+        sink.install(hub.clone());
+        let shared = sink.clone();
+        shared.with(|h| h.cache_access(true));
+        shared.with(|h| h.cache_access(false));
+        shared.with(|h| h.journal_backlog(5));
+        assert_eq!(hub.now(), 3);
+        let snap = hub.snapshot();
+        let (_, w) = snap.iter().next().unwrap();
+        assert_eq!(w.cache_hits, 1);
+        assert_eq!(w.cache_misses, 1);
+        assert_eq!(w.journal_backlog_max, 5);
+        sink.uninstall();
+        assert_eq!(shared.with(|_| 1), None);
+    }
+}

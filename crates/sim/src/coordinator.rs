@@ -19,13 +19,13 @@
 
 use std::sync::mpsc;
 
-use bam_obs::{merge_indexed_spans, SpanEvent, SpanRecorder};
+use bam_obs::{merge_indexed_spans, BlameRow, SpanEvent, SpanRecorder, WindowedSeries};
 
 use crate::clock::SimTime;
 use crate::engine::{drive_events_cursor, EngineOutput, IssueState, RequestDesc, SimConfig};
 use crate::pipeline::PipelineParams;
 use crate::shard::{
-    merge_tenants, occupancy_stats, Accounting, OccupancyMeter, Rec, ShardMap, SpanOut,
+    merge_tenants, occupancy_stats, Accounting, ObsPlan, OccupancyMeter, Rec, ShardMap, SpanOut,
 };
 
 /// Records a shard batch may accumulate before it is flushed regardless of
@@ -57,11 +57,11 @@ pub(crate) fn run_sharded_core(
     issue: &mut [IssueState],
     recorder: Option<&SpanRecorder>,
     workers: usize,
+    plan: &ObsPlan<'_>,
 ) -> EngineOutput {
     let map = ShardMap::new(workers, config.num_ssds, config.queue_pairs_per_ssd);
     let shards = map.shards;
     let total_qps = config.total_queue_pairs();
-    let num_tenants = issue.len();
     let traced = recorder.is_some();
 
     // Dense per-shard slots: request i is its shard's local_of[i]-th request,
@@ -89,7 +89,7 @@ pub(crate) fn run_sharded_core(
                 Some(&local_of),
                 shard_slots as usize,
                 total_qps,
-                num_tenants,
+                plan,
                 if traced {
                     SpanOut::Buffered(Vec::new())
                 } else {
@@ -175,6 +175,17 @@ pub(crate) fn run_sharded_core(
         }
     }
 
+    // Fold the shard series and concatenate blame rows. The series merge is
+    // commutative, and the blame report builder sorts rows by request id, so
+    // both outputs are bit-identical to the inline engine's at any shard
+    // count.
+    let mut series = WindowedSeries::new(plan.telemetry.window_ns);
+    let mut blame_rows: Vec<BlameRow> = Vec::new();
+    for acct in &mut accts {
+        series.merge(&acct.series);
+        blame_rows.append(&mut acct.take_blame_rows());
+    }
+
     let tenants = merge_tenants(accts.into_iter().map(|a| a.tenants).collect());
 
     EngineOutput {
@@ -187,5 +198,7 @@ pub(crate) fn run_sharded_core(
         read_latencies,
         write_latencies,
         tenants,
+        series,
+        blame_rows,
     }
 }

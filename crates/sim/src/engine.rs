@@ -22,14 +22,54 @@ use bam_obs::{SpanRecorder, Stage, StageBreakdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use bam_obs::{evaluate_slo, BlameRow, WindowedSeries};
+
 use crate::clock::SimTime;
 use crate::coordinator;
 use crate::dist::LatencyDist;
 use crate::event::{Event, EventQueue};
 use crate::pipeline::{fair_shares, PipelineParams, QueuePairPolicy};
-use crate::report::{DepthTimeline, MultiTenantReport, SimReport, TenantSummary};
-use crate::shard::{occupancy_stats, Accounting, Rec, SpanOut, TenantAcc};
+use crate::report::{
+    build_run_telemetry, DepthTimeline, MultiTenantReport, RunTelemetry, SimReport, TenantSummary,
+};
+use crate::shard::{occupancy_stats, Accounting, ObsPlan, Rec, SpanOut, TenantAcc};
 use crate::tenant::{ArrivalProcess, Superposition, TenantSpec};
+
+/// What run-level telemetry the engines collect.
+///
+/// The disabled spec costs one predictable branch per accounting record;
+/// enabled telemetry perturbs nothing — the report of an observed run is
+/// bit-identical to the unobserved run's, on either engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Windowed-series window size in virtual nanoseconds (0 = no series).
+    pub window_ns: u64,
+    /// Collect per-request blame rows (service/wait decomposition).
+    pub blame: bool,
+    /// Slowest-request exemplars kept in the blame report.
+    pub blame_top_k: usize,
+}
+
+impl TelemetrySpec {
+    /// No telemetry: empty series, no blame rows.
+    pub const fn disabled() -> Self {
+        Self {
+            window_ns: 0,
+            blame: false,
+            blame_top_k: 0,
+        }
+    }
+
+    /// Full telemetry: a windowed series on `window_ns` plus blame
+    /// decomposition keeping `blame_top_k` exemplars.
+    pub const fn full(window_ns: u64, blame_top_k: usize) -> Self {
+        Self {
+            window_ns,
+            blame: true,
+            blame_top_k,
+        }
+    }
+}
 
 /// Static description of one simulated request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +300,11 @@ fn drive_events<const CURSOR: bool>(
     let gpu_link_ns =
         |desc: &RequestDesc| (desc.bytes as f64 * p.gpu_link_ns_per_byte).round() as u64;
 
+    // Media service times are drawn when the channel is seized; the stash
+    // lets the departure event report the drawn sample as the stage's
+    // service share (every other stage's service is a pipeline constant).
+    let mut media_service: Vec<u64> = vec![0; requests.len()];
+
     let mut completed: u64 = 0;
     let mut depth_timeline = DepthTimeline::default();
     let mut depth: u32 = 0;
@@ -280,9 +325,12 @@ fn drive_events<const CURSOR: bool>(
     }
 
     // Closes one stage of `req` at the current instant (dwell measured from
-    // the request's previous boundary — the shard owns that state).
+    // the request's previous boundary — the shard owns that state). The
+    // third operand is the stage's pure service time: the spine scheduled
+    // the departure, so it knows it exactly, and the shard splits the dwell
+    // into service vs wait without re-deriving any timing decision.
     macro_rules! mark {
-        ($req:expr, $stage:expr) => {{
+        ($req:expr, $stage:expr, $service:expr) => {{
             let idx = rec_idx;
             rec_idx += 1;
             sink(Rec::Stage {
@@ -290,6 +338,7 @@ fn drive_events<const CURSOR: bool>(
                 stage: $stage,
                 at: now,
                 idx,
+                service_ns: $service,
             });
         }};
     }
@@ -343,7 +392,7 @@ fn drive_events<const CURSOR: bool>(
                 }
             }
             Event::JournalFlushed { req } => {
-                mark!(req, Stage::JournalFlush);
+                mark!(req, Stage::JournalFlush, p.journal_flush_ns);
                 let qp = qp_of[req as usize] as usize;
                 if queue_pairs[qp].admit(req) {
                     events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
@@ -360,11 +409,11 @@ fn drive_events<const CURSOR: bool>(
                 meter!(qp);
             }
             Event::QpForwarded { req } => {
-                mark!(req, Stage::QueuePair);
+                mark!(req, Stage::QueuePair, p.qp_forward_ns);
                 events.schedule(now + p.ctrl_fetch_ns, Event::FetchDone { req });
             }
             Event::FetchDone { req } => {
-                mark!(req, Stage::CtrlFetch);
+                mark!(req, Stage::CtrlFetch, p.ctrl_fetch_ns);
                 let dev = device_of(req) as usize;
                 if media[dev].admit(req) {
                     let desc = &requests[req as usize];
@@ -373,11 +422,13 @@ fn drive_events<const CURSOR: bool>(
                     } else {
                         &p.read_media
                     };
-                    events.schedule(now + dist.sample(&mut rng), Event::MediaDone { req });
+                    let service = dist.sample(&mut rng);
+                    media_service[req as usize] = service;
+                    events.schedule(now + service, Event::MediaDone { req });
                 }
             }
             Event::MediaDone { req } => {
-                mark!(req, Stage::Media);
+                mark!(req, Stage::Media, media_service[req as usize]);
                 let dev = device_of(req) as usize;
                 if let Some(next) = media[dev].release() {
                     let desc = &requests[next as usize];
@@ -386,7 +437,9 @@ fn drive_events<const CURSOR: bool>(
                     } else {
                         &p.read_media
                     };
-                    events.schedule(now + dist.sample(&mut rng), Event::MediaDone { req: next });
+                    let service = dist.sample(&mut rng);
+                    media_service[next as usize] = service;
+                    events.schedule(now + service, Event::MediaDone { req: next });
                 }
                 if ssd_links[dev].admit(req) {
                     events.schedule(
@@ -396,7 +449,7 @@ fn drive_events<const CURSOR: bool>(
                 }
             }
             Event::SsdLinkDone { req } => {
-                mark!(req, Stage::SsdLink);
+                mark!(req, Stage::SsdLink, ssd_link_ns(&requests[req as usize]));
                 let dev = device_of(req) as usize;
                 if let Some(next) = ssd_links[dev].release() {
                     events.schedule(
@@ -412,7 +465,7 @@ fn drive_events<const CURSOR: bool>(
                 }
             }
             Event::GpuLinkDone { req } => {
-                mark!(req, Stage::GpuLink);
+                mark!(req, Stage::GpuLink, gpu_link_ns(&requests[req as usize]));
                 if let Some(next) = gpu_link.release() {
                     events.schedule(
                         now + gpu_link_ns(&requests[next as usize]),
@@ -424,7 +477,12 @@ fn drive_events<const CURSOR: bool>(
             Event::Complete { req } => {
                 let idx = rec_idx;
                 rec_idx += 1;
-                sink(Rec::Complete { req, at: now, idx });
+                sink(Rec::Complete {
+                    req,
+                    at: now,
+                    idx,
+                    service_ns: p.completion_ns,
+                });
                 completed += 1;
                 depth -= 1;
                 depth_timeline.record(now, depth);
@@ -495,6 +553,11 @@ pub(crate) struct EngineOutput {
     pub(crate) write_latencies: Vec<u64>,
     /// Per-tenant accounting, in tenant declaration order.
     pub(crate) tenants: Vec<TenantAcc>,
+    /// Run-level windowed telemetry (empty when the plan disabled it).
+    pub(crate) series: WindowedSeries,
+    /// Per-request blame rows (empty when the plan disabled blame;
+    /// shard-concatenated for the sharded engine — the report builder sorts).
+    pub(crate) blame_rows: Vec<BlameRow>,
 }
 
 /// Runs the spine with inline accounting (the historical engine) or via the
@@ -509,6 +572,7 @@ pub(crate) fn execute(
     issue: &mut [IssueState],
     recorder: Option<&SpanRecorder>,
     mode: EngineMode,
+    plan: &ObsPlan<'_>,
 ) -> EngineOutput {
     match mode {
         EngineMode::Inline => {
@@ -520,7 +584,7 @@ pub(crate) fn execute(
                 None,
                 requests.len(),
                 config.total_queue_pairs(),
-                issue.len(),
+                plan,
                 spans,
             );
             let spine = drive_events::<false>(
@@ -533,6 +597,7 @@ pub(crate) fn execute(
                 &mut |rec| acct.apply(rec),
             );
             let (occupancy_mean, occupancy_max) = occupancy_stats(&acct.meters, spine.end);
+            let blame_rows = acct.take_blame_rows();
             EngineOutput {
                 end: spine.end,
                 depth: spine.depth,
@@ -543,10 +608,12 @@ pub(crate) fn execute(
                 read_latencies: acct.read_latencies,
                 write_latencies: acct.write_latencies,
                 tenants: acct.tenants,
+                series: acct.series,
+                blame_rows,
             }
         }
         EngineMode::Sharded(workers) => coordinator::run_sharded_core(
-            config, requests, tenant_of, qp_of, arrivals, issue, recorder, workers,
+            config, requests, tenant_of, qp_of, arrivals, issue, recorder, workers, plan,
         ),
     }
 }
@@ -573,7 +640,34 @@ pub(crate) fn drive_events_cursor(
 /// Panics if `requests` is empty, the configuration has no queue pairs, or an
 /// open-loop rate is not positive.
 pub fn run(config: &SimConfig, workload: Workload, requests: &[RequestDesc]) -> SimReport {
-    run_with(config, workload, requests, None, EngineMode::Inline)
+    run_with(
+        config,
+        workload,
+        requests,
+        None,
+        EngineMode::Inline,
+        TelemetrySpec::disabled(),
+    )
+    .0
+}
+
+/// [`run`] with run-level telemetry: alongside the (bit-identical) report,
+/// returns the windowed series and blame decomposition described by
+/// `telemetry`. `workers` dispatches the engine as in [`run_with_workers`];
+/// the telemetry is bit-identical at any worker count.
+pub fn run_observed(
+    config: &SimConfig,
+    workload: Workload,
+    requests: &[RequestDesc],
+    workers: usize,
+    telemetry: TelemetrySpec,
+) -> (SimReport, RunTelemetry) {
+    let mode = if workers <= 1 {
+        EngineMode::Inline
+    } else {
+        EngineMode::Sharded(workers)
+    };
+    run_with(config, workload, requests, None, mode, telemetry)
 }
 
 /// [`run`] with span tracing: every request's stage intervals are recorded
@@ -592,7 +686,9 @@ pub fn run_traced(
         requests,
         Some(recorder),
         EngineMode::Inline,
+        TelemetrySpec::disabled(),
     )
+    .0
 }
 
 /// [`run`] on the sharded engine: the timing spine streams accounting to
@@ -615,7 +711,9 @@ pub fn run_sharded(
         requests,
         None,
         EngineMode::Sharded(workers),
+        TelemetrySpec::disabled(),
     )
+    .0
 }
 
 /// [`run_sharded`] with span tracing: shards buffer their span events and
@@ -635,7 +733,9 @@ pub fn run_sharded_traced(
         requests,
         Some(recorder),
         EngineMode::Sharded(workers),
+        TelemetrySpec::disabled(),
     )
+    .0
 }
 
 /// Engine dispatch by worker count: `workers <= 1` runs the inline engine,
@@ -716,7 +816,8 @@ fn run_with(
     requests: &[RequestDesc],
     recorder: Option<&SpanRecorder>,
     mode: EngineMode,
-) -> SimReport {
+    telemetry: TelemetrySpec,
+) -> (SimReport, RunTelemetry) {
     assert!(!requests.is_empty(), "nothing to simulate");
     assert!(
         config.total_queue_pairs() > 0,
@@ -731,11 +832,19 @@ fn run_with(
     };
     let mut issue = [IssueState::new(0, n, arrivals.len() as u64, refill)];
     let tenant_of = vec![0u32; requests.len()];
+    let plan = ObsPlan {
+        telemetry,
+        tenant_slo_windows: &[0],
+    };
     let mut outcome = execute(
-        config, requests, &tenant_of, &qp_of, &arrivals, &mut issue, recorder, mode,
+        config, requests, &tenant_of, &qp_of, &arrivals, &mut issue, recorder, mode, &plan,
     );
+    let series = std::mem::replace(&mut outcome.series, WindowedSeries::new(0));
+    let blame_rows = std::mem::take(&mut outcome.blame_rows);
+    let run_telemetry =
+        build_run_telemetry(series, blame_rows, &outcome.depth, telemetry.blame_top_k);
     let acc = outcome.tenants.remove(0);
-    SimReport::build(
+    let report = SimReport::build(
         acc.latencies,
         outcome.read_latencies,
         outcome.write_latencies,
@@ -745,7 +854,8 @@ fn run_with(
         outcome.occupancy_mean,
         outcome.occupancy_max,
         acc.stages,
-    )
+    );
+    (report, run_telemetry)
 }
 
 /// Runs the superposed workloads of `tenants` through the pipeline, with
@@ -769,7 +879,34 @@ pub fn run_tenants(
     tenants: &[TenantSpec],
     policy: QueuePairPolicy,
 ) -> MultiTenantReport {
-    run_tenants_with(config, tenants, policy, None, EngineMode::Inline)
+    run_tenants_with(
+        config,
+        tenants,
+        policy,
+        None,
+        EngineMode::Inline,
+        TelemetrySpec::disabled(),
+    )
+    .0
+}
+
+/// [`run_tenants`] with run-level telemetry (see [`run_observed`]): returns
+/// the multi-tenant report — including per-tenant SLO evaluations for
+/// tenants carrying a [`bam_obs::SloSpec`] — plus the run's windowed series
+/// and blame decomposition. Bit-identical at any worker count.
+pub fn run_tenants_observed(
+    config: &SimConfig,
+    tenants: &[TenantSpec],
+    policy: QueuePairPolicy,
+    workers: usize,
+    telemetry: TelemetrySpec,
+) -> (MultiTenantReport, RunTelemetry) {
+    let mode = if workers <= 1 {
+        EngineMode::Inline
+    } else {
+        EngineMode::Sharded(workers)
+    };
+    run_tenants_with(config, tenants, policy, None, mode, telemetry)
 }
 
 /// [`run_tenants`] with span tracing into `recorder` (see [`run_traced`]).
@@ -779,7 +916,15 @@ pub fn run_tenants_traced(
     policy: QueuePairPolicy,
     recorder: &SpanRecorder,
 ) -> MultiTenantReport {
-    run_tenants_with(config, tenants, policy, Some(recorder), EngineMode::Inline)
+    run_tenants_with(
+        config,
+        tenants,
+        policy,
+        Some(recorder),
+        EngineMode::Inline,
+        TelemetrySpec::disabled(),
+    )
+    .0
 }
 
 /// [`run_tenants`] on the sharded engine (see [`run_sharded`]); the report
@@ -795,7 +940,15 @@ pub fn run_tenants_sharded(
     workers: usize,
 ) -> MultiTenantReport {
     assert!(workers > 0, "need at least one worker");
-    run_tenants_with(config, tenants, policy, None, EngineMode::Sharded(workers))
+    run_tenants_with(
+        config,
+        tenants,
+        policy,
+        None,
+        EngineMode::Sharded(workers),
+        TelemetrySpec::disabled(),
+    )
+    .0
 }
 
 /// [`run_tenants_sharded`] with span tracing (see [`run_sharded_traced`]).
@@ -813,7 +966,9 @@ pub fn run_tenants_sharded_traced(
         policy,
         Some(recorder),
         EngineMode::Sharded(workers),
+        TelemetrySpec::disabled(),
     )
+    .0
 }
 
 /// Engine dispatch by worker count for multi-tenant runs (see
@@ -837,7 +992,8 @@ fn run_tenants_with(
     policy: QueuePairPolicy,
     recorder: Option<&SpanRecorder>,
     mode: EngineMode,
-) -> MultiTenantReport {
+    telemetry: TelemetrySpec,
+) -> (MultiTenantReport, RunTelemetry) {
     assert!(!tenants.is_empty(), "no tenants to simulate");
     assert!(
         config.total_queue_pairs() > 0,
@@ -903,7 +1059,15 @@ fn run_tenants_with(
         })
         .collect();
 
-    let outcome = execute(
+    let slo_windows: Vec<u64> = tenants
+        .iter()
+        .map(|t| t.slo.map_or(0, |s| s.window_ns))
+        .collect();
+    let plan = ObsPlan {
+        telemetry,
+        tenant_slo_windows: &slo_windows,
+    };
+    let mut outcome = execute(
         config,
         &requests,
         &tenant_of,
@@ -912,7 +1076,12 @@ fn run_tenants_with(
         &mut issue,
         recorder,
         mode,
+        &plan,
     );
+    let series = std::mem::replace(&mut outcome.series, WindowedSeries::new(0));
+    let blame_rows = std::mem::take(&mut outcome.blame_rows);
+    let run_telemetry =
+        build_run_telemetry(series, blame_rows, &outcome.depth, telemetry.blame_top_k);
 
     let mut all_latencies: Vec<u64> = Vec::with_capacity(requests.len());
     let mut overall_stages = StageBreakdown::new();
@@ -920,6 +1089,10 @@ fn run_tenants_with(
     for ((t, acc), &share) in tenants.iter().zip(outcome.tenants).zip(&shares) {
         all_latencies.extend_from_slice(&acc.latencies);
         overall_stages.merge(&acc.stages);
+        let slo = t
+            .slo
+            .as_ref()
+            .map(|spec| evaluate_slo(&acc.slo_series, spec));
         let histo = bam_obs::LatencyHisto::from_samples(acc.latencies);
         let first_arrival = acc.first_arrival.unwrap_or(SimTime::ZERO);
         let span_s = (acc.last_completion - first_arrival) as f64 / 1e9;
@@ -938,9 +1111,10 @@ fn run_tenants_with(
             first_arrival_s: first_arrival.as_secs_f64(),
             last_completion_s: acc.last_completion.as_secs_f64(),
             stages: acc.stages,
+            slo,
         });
     }
-    MultiTenantReport {
+    let report = MultiTenantReport {
         overall: SimReport::build(
             all_latencies,
             outcome.read_latencies,
@@ -953,7 +1127,8 @@ fn run_tenants_with(
             overall_stages,
         ),
         tenants: summaries,
-    }
+    };
+    (report, run_telemetry)
 }
 
 /// Convenience: `n` identical round-robin reads of the pipeline's access
@@ -1375,6 +1550,10 @@ mod tests {
             &mut issue,
             None,
             mode,
+            &ObsPlan {
+                telemetry: TelemetrySpec::disabled(),
+                tenant_slo_windows: &[0],
+            },
         )
     }
 

@@ -58,18 +58,22 @@ pub mod tenant;
 pub mod trace;
 
 pub use bam_obs::{
-    chrome_trace_json, LatencyHisto, SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown,
+    chrome_trace_json, evaluate_slo, BlameBreakdown, BlameReport, Exemplar, LatencyHisto,
+    PromWriter, SloReport, SloSpec, SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown,
+    WaterfallStep, WindowStats, WindowedSeries,
 };
 pub use clock::SimTime;
 pub use dist::{LatencyDist, Mmpp2, MmppDwellStats};
 pub use engine::{
-    run, run_sharded, run_sharded_traced, run_tenants, run_tenants_sharded,
-    run_tenants_sharded_traced, run_tenants_traced, run_tenants_with_workers, run_traced,
-    run_traced_with_workers, run_with_workers, uniform_reads, RequestDesc, SimConfig, Workload,
+    run, run_observed, run_sharded, run_sharded_traced, run_tenants, run_tenants_observed,
+    run_tenants_sharded, run_tenants_sharded_traced, run_tenants_traced, run_tenants_with_workers,
+    run_traced, run_traced_with_workers, run_with_workers, uniform_reads, RequestDesc, SimConfig,
+    TelemetrySpec, Workload,
 };
 pub use pipeline::{fair_shares, tail_sigma, PipelineParams, QueuePairPolicy};
 pub use report::{
-    interference_ratio, DepthTimeline, LatencySummary, MultiTenantReport, SimReport, TenantSummary,
+    interference_ratio, DepthTimeline, LatencySummary, MultiTenantReport, RunTelemetry, SimReport,
+    TenantSummary,
 };
 pub use tenant::{ArrivalProcess, Superposition, TenantSpec};
 pub use trace::{IoTrace, TraceRecorder};

@@ -1,7 +1,9 @@
 //! Run results: latency percentiles, in-flight-depth timelines, queue
 //! occupancy, per-stage dwell breakdowns, and the Little's-law cross-check.
 
-use bam_obs::{LatencyHisto, StageBreakdown};
+use bam_obs::{
+    BlameReport, BlameRow, LatencyHisto, PromWriter, SloReport, StageBreakdown, WindowedSeries,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::clock::SimTime;
@@ -103,6 +105,15 @@ impl DepthTimeline {
     /// Peak depth ever observed.
     pub fn max_depth(&self) -> u32 {
         self.points.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Folds every depth-change point into `series` as a depth sample. The
+    /// timeline comes from the timing spine, which is identical for both
+    /// engines, so the folded samples are too.
+    pub(crate) fn fold_into(&self, series: &mut WindowedSeries) {
+        for &(at, d) in &self.points {
+            series.record_depth(at.as_ns(), d);
+        }
     }
 
     /// At most `n` evenly spaced `(seconds, depth)` samples for plotting.
@@ -236,6 +247,9 @@ pub struct TenantSummary {
     pub last_completion_s: f64,
     /// Per-stage dwell-time histograms over the tenant's own requests.
     pub stages: StageBreakdown,
+    /// The tenant's SLO evaluation, when its [`crate::TenantSpec`] carries
+    /// a [`bam_obs::SloSpec`].
+    pub slo: Option<SloReport>,
 }
 
 /// Everything a multi-tenant simulation run produces: the merged view plus
@@ -253,6 +267,131 @@ impl MultiTenantReport {
     /// The summary for tenant `id`, if present.
     pub fn tenant(&self, id: u32) -> Option<&TenantSummary> {
         self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Renders the report as a Prometheus text exposition: overall counters,
+    /// per-tenant latency/throughput families, and — for tenants carrying an
+    /// SLO — the violation counters and burn-rate gauges an alerting rule
+    /// would scrape. Deterministic: same report, same bytes.
+    pub fn prom_export(&self) -> String {
+        let mut w = PromWriter::new();
+        w.counter(
+            "bam_sim_completed",
+            "Requests completed across all tenants.",
+            self.overall.completed,
+        );
+        w.gauge(
+            "bam_sim_throughput_per_s",
+            "Completed requests per simulated second.",
+            self.overall.throughput_per_s,
+        );
+        w.gauge(
+            "bam_sim_p99_us",
+            "Overall 99th-percentile latency in microseconds.",
+            self.overall.latency.p99_us,
+        );
+        let names: Vec<&str> = self.tenants.iter().map(|t| t.name.as_str()).collect();
+        let labels: Vec<[(&str, &str); 1]> = names.iter().map(|n| [("tenant", *n)]).collect();
+        let completed: Vec<(&[(&str, &str)], u64)> = self
+            .tenants
+            .iter()
+            .zip(&labels)
+            .map(|(t, l)| (l.as_slice(), t.completed))
+            .collect();
+        w.counter_family(
+            "bam_tenant_completed",
+            "Requests completed per tenant.",
+            &completed,
+        );
+        let p99: Vec<(&[(&str, &str)], f64)> = self
+            .tenants
+            .iter()
+            .zip(&labels)
+            .map(|(t, l)| (l.as_slice(), t.latency.p99_us))
+            .collect();
+        w.gauge_family(
+            "bam_tenant_p99_us",
+            "Per-tenant 99th-percentile latency in microseconds.",
+            &p99,
+        );
+        let throughput: Vec<(&[(&str, &str)], f64)> = self
+            .tenants
+            .iter()
+            .zip(&labels)
+            .map(|(t, l)| (l.as_slice(), t.throughput_per_s))
+            .collect();
+        w.gauge_family(
+            "bam_tenant_throughput_per_s",
+            "Per-tenant completions per second over the tenant's span.",
+            &throughput,
+        );
+        let slo: Vec<(&[(&str, &str)], SloReport)> = self
+            .tenants
+            .iter()
+            .zip(&labels)
+            .filter_map(|(t, l)| t.slo.map(|s| (l.as_slice(), s)))
+            .collect();
+        if !slo.is_empty() {
+            let targets: Vec<(&[(&str, &str)], f64)> =
+                slo.iter().map(|(l, s)| (*l, s.target_p99_us)).collect();
+            w.gauge_family(
+                "bam_slo_target_p99_us",
+                "The tenant's p99 latency target in microseconds.",
+                &targets,
+            );
+            let violations: Vec<(&[(&str, &str)], u64)> =
+                slo.iter().map(|(l, s)| (*l, s.violations)).collect();
+            w.counter_family(
+                "bam_slo_window_violations",
+                "Evaluation windows whose p99 exceeded the tenant's target.",
+                &violations,
+            );
+            let over: Vec<(&[(&str, &str)], u64)> =
+                slo.iter().map(|(l, s)| (*l, s.over_target)).collect();
+            w.counter_family(
+                "bam_slo_requests_over_target",
+                "Completions whose latency exceeded the tenant's target.",
+                &over,
+            );
+            let burn: Vec<(&[(&str, &str)], f64)> =
+                slo.iter().map(|(l, s)| (*l, s.burn_rate)).collect();
+            w.gauge_family(
+                "bam_slo_burn_rate",
+                "Tail-error-budget burn rate (1.0 = exactly on a 1% budget).",
+                &burn,
+            );
+        }
+        w.finish()
+    }
+}
+
+/// Run-level telemetry of one observed run: the windowed series plus the
+/// blame decomposition described by the run's
+/// [`crate::engine::TelemetrySpec`]. Bit-identical between the inline and
+/// sharded engines at any worker count — the property
+/// `tests/parallel_equivalence.rs` asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTelemetry {
+    /// Fixed-window counters and samples over virtual time.
+    pub series: WindowedSeries,
+    /// Per-resource service/wait decomposition with tail slice and
+    /// exemplars.
+    pub blame: BlameReport,
+}
+
+/// Assembles a [`RunTelemetry`] from the engine output: folds the (engine-
+/// independent) depth timeline into the series and builds the canonical
+/// blame report from the collected rows.
+pub(crate) fn build_run_telemetry(
+    mut series: WindowedSeries,
+    rows: Vec<BlameRow>,
+    depth: &DepthTimeline,
+    top_k: usize,
+) -> RunTelemetry {
+    depth.fold_into(&mut series);
+    RunTelemetry {
+        series,
+        blame: BlameReport::build(rows, top_k),
     }
 }
 

@@ -15,10 +15,21 @@
 //! Merging shard results back (see [`merge_tenants`] and
 //! [`occupancy_stats`]) reproduces the inline accounting bit for bit.
 
-use bam_obs::{SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown};
+use bam_obs::{
+    BlameMark, BlameRow, SpanEvent, SpanId, SpanRecorder, Stage, StageBreakdown, WindowedSeries,
+};
 
 use crate::clock::SimTime;
-use crate::engine::RequestDesc;
+use crate::engine::{RequestDesc, TelemetrySpec};
+
+/// What observability the engines collect during a run: the run-level
+/// telemetry spec plus each tenant's SLO evaluation window (0 = none).
+/// Both engines receive the same plan, so their outputs stay comparable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ObsPlan<'a> {
+    pub(crate) telemetry: TelemetrySpec,
+    pub(crate) tenant_slo_windows: &'a [u64],
+}
 
 /// Time-weighted occupancy accounting for one queue pair.
 #[derive(Debug, Default, Clone, Copy)]
@@ -68,15 +79,24 @@ pub(crate) fn occupancy_stats(meters: &[OccupancyMeter], end: SimTime) -> (f64, 
 pub(crate) enum Rec {
     /// Request `req` entered the system at `at`.
     Arrive { req: u32, at: SimTime },
-    /// Request `req` closed pipeline stage `stage` at `at`.
+    /// Request `req` closed pipeline stage `stage` at `at`. `service_ns` is
+    /// the stage's pure service time — the spine knows it exactly (it
+    /// scheduled the departure) — so shards can split the dwell into service
+    /// vs wait without re-deriving timing decisions.
     Stage {
         req: u32,
         stage: Stage,
         at: SimTime,
         idx: u64,
+        service_ns: u64,
     },
     /// Request `req` completed at `at` (closes the Completion stage).
-    Complete { req: u32, at: SimTime, idx: u64 },
+    Complete {
+        req: u32,
+        at: SimTime,
+        idx: u64,
+        service_ns: u64,
+    },
     /// Queue pair `qp` changed occupancy at `at`.
     Meter {
         qp: u32,
@@ -143,15 +163,19 @@ pub(crate) struct TenantAcc {
     pub(crate) last_completion: SimTime,
     /// Per-stage dwell-time histograms over the tenant's requests.
     pub(crate) stages: StageBreakdown,
+    /// The tenant's completion telemetry on its SLO evaluation window
+    /// (disabled — window 0 — for tenants without an SLO).
+    pub(crate) slo_series: WindowedSeries,
 }
 
 impl TenantAcc {
-    fn new() -> Self {
+    fn new(slo_window_ns: u64) -> Self {
         Self {
             latencies: Vec::new(),
             first_arrival: None,
             last_completion: SimTime::ZERO,
             stages: StageBreakdown::new(),
+            slo_series: WindowedSeries::new(slo_window_ns),
         }
     }
 }
@@ -172,6 +196,7 @@ pub(crate) fn merge_tenants(parts: Vec<Vec<TenantAcc>>) -> Vec<TenantAcc> {
             };
             into.last_completion = into.last_completion.max(from.last_completion);
             into.stages.merge(&from.stages);
+            into.slo_series.merge(&from.slo_series);
         }
     }
     merged
@@ -210,6 +235,14 @@ pub(crate) struct Accounting<'a> {
     /// Completed-write latencies, in completion order.
     pub(crate) write_latencies: Vec<u64>,
     pub(crate) spans: SpanOut<'a>,
+    /// Run-level windowed telemetry (disabled — window 0 — when the plan
+    /// asks for none; every record is then a single branch).
+    pub(crate) series: WindowedSeries,
+    /// Per-request blame rows (empty when the plan disables blame). Dense
+    /// via `local_of`, like the other per-request arrays.
+    rows: Vec<BlameRow>,
+    /// Whether blame rows are being collected.
+    blame: bool,
 }
 
 impl<'a> Accounting<'a> {
@@ -221,9 +254,10 @@ impl<'a> Accounting<'a> {
         local_of: Option<&'a [u32]>,
         slots: usize,
         total_qps: u32,
-        num_tenants: usize,
+        plan: &ObsPlan<'_>,
         spans: SpanOut<'a>,
     ) -> Self {
+        let blame = plan.telemetry.blame;
         Self {
             requests,
             tenant_of,
@@ -232,10 +266,27 @@ impl<'a> Accounting<'a> {
             arrive_at: vec![SimTime::ZERO; slots],
             last_mark: vec![SimTime::ZERO; slots],
             meters: vec![OccupancyMeter::default(); total_qps as usize],
-            tenants: (0..num_tenants).map(|_| TenantAcc::new()).collect(),
+            tenants: plan
+                .tenant_slo_windows
+                .iter()
+                .map(|&w| TenantAcc::new(w))
+                .collect(),
             read_latencies: Vec::new(),
             write_latencies: Vec::new(),
             spans,
+            series: WindowedSeries::new(plan.telemetry.window_ns),
+            rows: if blame {
+                (0..slots)
+                    .map(|_| BlameRow {
+                        id: 0,
+                        arrive_ns: 0,
+                        marks: Vec::new(),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            blame,
         }
     }
 
@@ -251,13 +302,26 @@ impl<'a> Accounting<'a> {
     /// request's previous stage boundary lands in its tenant's
     /// [`StageBreakdown`] and (when tracing) in the span output on the
     /// request's queue-pair track. Dwell times tile the request's life
-    /// exactly — their sum is the end-to-end latency.
-    fn mark(&mut self, req: u32, stage: Stage, now: SimTime, idx: u64) {
+    /// exactly — their sum is the end-to-end latency. `service_ns` is the
+    /// stage's pure service time from the spine; the dwell's remainder is
+    /// queueing wait, recorded into the windowed series and (when blame is
+    /// on) the request's blame row.
+    fn mark(&mut self, req: u32, stage: Stage, now: SimTime, idx: u64, service_ns: u64) {
         let slot = self.local(req);
         let start = self.last_mark[slot];
+        let dwell = now - start;
         self.tenants[self.tenant_of[req as usize] as usize]
             .stages
-            .record(stage, now - start);
+            .record(stage, dwell);
+        self.series
+            .record_stage(now.as_ns(), stage, dwell, dwell - service_ns.min(dwell));
+        if self.blame {
+            self.rows[slot].marks.push(BlameMark {
+                stage,
+                end_ns: now.as_ns(),
+                service_ns,
+            });
+        }
         match &mut self.spans {
             SpanOut::None => {}
             SpanOut::Direct(rec) => rec.record(Self::span_event(
@@ -303,22 +367,35 @@ impl<'a> Accounting<'a> {
                 let slot = self.local(req);
                 self.arrive_at[slot] = at;
                 self.last_mark[slot] = at;
-                self.tenants[self.tenant_of[req as usize] as usize]
-                    .first_arrival
-                    .get_or_insert(at);
+                self.series.record_arrival(at.as_ns());
+                if self.blame {
+                    self.rows[slot].id = u64::from(req);
+                    self.rows[slot].arrive_ns = at.as_ns();
+                }
+                let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
+                tenant.first_arrival.get_or_insert(at);
+                tenant.slo_series.record_arrival(at.as_ns());
             }
             Rec::Stage {
                 req,
                 stage,
                 at,
                 idx,
-            } => self.mark(req, stage, at, idx),
-            Rec::Complete { req, at, idx } => {
-                self.mark(req, Stage::Completion, at, idx);
+                service_ns,
+            } => self.mark(req, stage, at, idx, service_ns),
+            Rec::Complete {
+                req,
+                at,
+                idx,
+                service_ns,
+            } => {
+                self.mark(req, Stage::Completion, at, idx, service_ns);
                 let latency = at - self.arrive_at[self.local(req)];
+                self.series.record_completion(at.as_ns(), latency);
                 let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
                 tenant.latencies.push(latency);
                 tenant.last_completion = at;
+                tenant.slo_series.record_completion(at.as_ns(), latency);
                 if self.requests[req as usize].write {
                     self.write_latencies.push(latency);
                 } else {
@@ -327,6 +404,7 @@ impl<'a> Accounting<'a> {
             }
             Rec::Meter { qp, at, occupancy } => {
                 self.meters[qp as usize].update(at, occupancy);
+                self.series.record_occupancy(at.as_ns(), occupancy);
             }
         }
     }
@@ -337,6 +415,11 @@ impl<'a> Accounting<'a> {
             SpanOut::Buffered(buf) => buf,
             _ => Vec::new(),
         }
+    }
+
+    /// The shard's blame rows (empty when blame was disabled).
+    pub(crate) fn take_blame_rows(&mut self) -> Vec<BlameRow> {
+        std::mem::take(&mut self.rows)
     }
 }
 
@@ -361,11 +444,11 @@ mod tests {
 
     #[test]
     fn merge_tenants_folds_min_max_and_concats() {
-        let mut a = TenantAcc::new();
+        let mut a = TenantAcc::new(0);
         a.latencies.push(10);
         a.first_arrival = Some(SimTime::from_ns(5));
         a.last_completion = SimTime::from_ns(100);
-        let mut b = TenantAcc::new();
+        let mut b = TenantAcc::new(0);
         b.latencies.push(20);
         b.first_arrival = Some(SimTime::from_ns(2));
         b.last_completion = SimTime::from_ns(50);

@@ -8,6 +8,7 @@
 //! each tenant driven by its own seeded RNG so adding a tenant never perturbs
 //! another tenant's stream.
 
+use bam_obs::SloSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,10 @@ pub struct TenantSpec {
     /// Relative queue-pair weight under
     /// [`crate::pipeline::QueuePairPolicy::WeightedFair`].
     pub weight: u32,
+    /// Optional service-level objective: a p99 target evaluated over fixed
+    /// virtual-time windows, reported per tenant (see
+    /// [`crate::report::TenantSummary::slo`]).
+    pub slo: Option<SloSpec>,
 }
 
 impl TenantSpec {
@@ -82,7 +87,18 @@ impl TenantSpec {
             requests,
             writes: 0,
             weight: 1,
+            slo: None,
         }
+    }
+
+    /// Attaches a p99 SLO (`target_p99_us` over `window_ns` evaluation
+    /// windows) to the tenant.
+    pub fn with_slo(mut self, target_p99_us: f64, window_ns: u64) -> Self {
+        self.slo = Some(SloSpec {
+            target_p99_us,
+            window_ns,
+        });
+        self
     }
 
     /// The tenant's private RNG, derived from the run seed and its id so

@@ -12,7 +12,7 @@ use bam_nvme_sim::SsdSpec;
 use bam_pcie::LinkSpec;
 use bam_sim::{
     chrome_trace_json, engine, ArrivalProcess, Mmpp2, PipelineParams, QueuePairPolicy, SimConfig,
-    SpanRecorder, TenantSpec, Workload,
+    SpanRecorder, TelemetrySpec, TenantSpec, Workload,
 };
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -170,6 +170,95 @@ fn multi_tenant_antagonist_sweep_is_identical() {
                 chrome_trace_json(&rec_inline.events()),
                 chrome_trace_json(&rec_sharded.events()),
                 "{policy:?}: chrome trace, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_and_blame_are_identical_across_worker_counts() {
+    // Full telemetry (windowed series + blame rows + exemplars) folded from
+    // per-shard recorders must be bit-identical to the inline recorder's,
+    // on both the single-tenant and journalled-write shapes.
+    let spec = TelemetrySpec::full(50_000, 16);
+    let cfg = optane_config(4, 2, 4096, 4);
+    let reqs = engine::uniform_reads(&cfg, 12_000);
+    let workload = Workload::ClosedLoop { in_flight: 2048 };
+    let (inline, inline_tel) = engine::run_observed(&cfg, workload, &reqs, 1, spec);
+    for workers in WORKER_COUNTS {
+        let (sharded, sharded_tel) = engine::run_observed(&cfg, workload, &reqs, workers, spec);
+        assert_eq!(inline, sharded, "report, workers={workers}");
+        assert_eq!(inline_tel, sharded_tel, "telemetry, workers={workers}");
+    }
+
+    let base = optane_config(2, 4, 4096, 23);
+    let jcfg = SimConfig {
+        pipeline: base.pipeline.with_journal_flush(48),
+        ..base
+    };
+    let jreqs = engine::mixed_requests(&jcfg, 8_000, 3_000);
+    let jworkload = Workload::ClosedLoop { in_flight: 128 };
+    let (jinline, jinline_tel) = engine::run_observed(&jcfg, jworkload, &jreqs, 1, spec);
+    for workers in WORKER_COUNTS {
+        let (sharded, sharded_tel) = engine::run_observed(&jcfg, jworkload, &jreqs, workers, spec);
+        assert_eq!(jinline, sharded, "journalled report, workers={workers}");
+        assert_eq!(
+            jinline_tel, sharded_tel,
+            "journalled telemetry, workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn tenant_slo_and_telemetry_are_identical_across_worker_counts() {
+    // The antagonist sweep with SLOs attached: per-tenant SLO reports, the
+    // merged timeline, and the blame decomposition must match the inline
+    // engine bit for bit at every worker count and under both policies.
+    let cfg = optane_config(4, 2, 4096, 13);
+    let mmpp = Mmpp2 {
+        calm_rate_per_s: 50.0e3,
+        burst_rate_per_s: 1.6e6,
+        mean_calm_s: 4.0e-3,
+        mean_burst_s: 1.0e-3,
+    };
+    let mut tenants: Vec<TenantSpec> = (0..4u32)
+        .map(|i| {
+            TenantSpec::new(
+                i,
+                &format!("steady-{i}"),
+                ArrivalProcess::Poisson {
+                    rate_per_s: 100.0e3,
+                },
+                1_500,
+            )
+            .with_slo(30.0, 500_000)
+        })
+        .collect();
+    tenants.push(TenantSpec::new(
+        100,
+        "antagonist",
+        ArrivalProcess::Mmpp(mmpp),
+        5_400,
+    ));
+    let spec = TelemetrySpec::full(100_000, 8);
+    for policy in [QueuePairPolicy::Shared, QueuePairPolicy::WeightedFair] {
+        let (inline, inline_tel) = engine::run_tenants_observed(&cfg, &tenants, policy, 1, spec);
+        assert!(
+            inline.tenants[0].slo.is_some(),
+            "SLO'd tenant must carry a report"
+        );
+        for workers in WORKER_COUNTS {
+            let (sharded, sharded_tel) =
+                engine::run_tenants_observed(&cfg, &tenants, policy, workers, spec);
+            assert_eq!(inline, sharded, "{policy:?}: report, workers={workers}");
+            assert_eq!(
+                inline_tel, sharded_tel,
+                "{policy:?}: telemetry, workers={workers}"
+            );
+            assert_eq!(
+                inline.prom_export(),
+                sharded.prom_export(),
+                "{policy:?}: prom export, workers={workers}"
             );
         }
     }
