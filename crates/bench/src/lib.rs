@@ -26,6 +26,7 @@
 //! | [`graph_exp::figure11`] | Fig 11 (queue-pair sensitivity, analytic + event-driven) |
 //! | [`sim_exp::latency_cdf`] | Tail-latency CDFs per SSD technology (event-driven; extends Fig 9 / Table 2) |
 //! | [`sim_exp::tenant_matrix`] | Multi-tenant interference/fairness sweep (event-driven; beyond the paper) |
+//! | [`slo_exp::slo_sweep`] | Million-tenant class knee sweep: SLO admission control on/off (beyond the paper) |
 //! | [`breakdown_exp::breakdown`] | Per-stage latency attribution + span traces (event-driven; beyond the paper) |
 //! | [`timeline_exp::timeline_run`] | Tail root-cause attribution: windowed telemetry, per-resource blame, SLO burn rates (beyond the paper) |
 //! | [`analytics_exp::figure12`] | Fig 12 (BaM vs RAPIDS, I/O amplification) |
@@ -47,6 +48,7 @@ pub mod misc_exp;
 pub mod recovery_exp;
 pub mod scale;
 pub mod sim_exp;
+pub mod slo_exp;
 pub mod timeline_exp;
 
 /// The worker count following `--workers` in the process arguments, or 1

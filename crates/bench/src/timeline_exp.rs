@@ -157,11 +157,12 @@ pub fn blame_json(blame: &BlameReport) -> String {
 }
 
 /// Renders the per-tenant SLO outcomes as a JSON array (tenants without an
-/// SLO are omitted).
+/// SLO are omitted). Tenant-class rows with an armed admission controller
+/// append an `admission` object; plain tenants render exactly as before.
 pub fn slo_json(report: &MultiTenantReport) -> String {
     json_array(report.tenants.iter().filter_map(|t| {
         t.slo.map(|s| {
-            JsonObject::new()
+            let mut obj = JsonObject::new()
                 .str("tenant", &t.name)
                 .num("target_p99_us", s.target_p99_us)
                 .int("window_ns", s.window_ns)
@@ -171,8 +172,20 @@ pub fn slo_json(report: &MultiTenantReport) -> String {
                 .int("over_target", s.over_target)
                 .num("burn_rate", s.burn_rate)
                 .num("worst_window_p99_us", s.worst_window_p99_us)
-                .int("worst_window_start_ns", s.worst_window_start_ns)
-                .build()
+                .int("worst_window_start_ns", s.worst_window_start_ns);
+            if let Some(a) = t.admission {
+                obj = obj.raw(
+                    "admission",
+                    JsonObject::new()
+                        .int("offered", a.offered)
+                        .int("admitted", a.admitted)
+                        .int("deferrals", a.deferrals)
+                        .int("rejected", a.rejected)
+                        .int("depth_limit", a.depth_limit)
+                        .build(),
+                );
+            }
+            obj.build()
         })
     }))
 }

@@ -139,7 +139,7 @@ impl IoStack {
     /// Enables bounded retry with exponential backoff for cache-miss fetches
     /// that fail with a transient [`BamError::Storage`] error: up to
     /// `retries` extra attempts, sleeping `base_us · 2^(attempt-1)`
-    /// microseconds (saturating at [`MAX_FETCH_BACKOFF_US`]) before each.
+    /// microseconds (saturating at `MAX_FETCH_BACKOFF_US`) before each.
     /// Under replication the round-robin device
     /// selector naturally steers each attempt at the next replica. Every
     /// retry is counted in [`crate::MetricsSnapshot::storage_retries`].

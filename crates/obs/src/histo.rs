@@ -1,6 +1,6 @@
 //! Log-linear latency histogram.
 //!
-//! Values below [`LINEAR_MAX`] are recorded exactly (one bucket per value);
+//! Values below `LINEAR_MAX` are recorded exactly (one bucket per value);
 //! above it each power-of-two octave is split into [`SUBBUCKETS`] linear
 //! sub-buckets, bounding the relative quantisation error of any recorded
 //! value by `1 / SUBBUCKETS` (≈ 1.6%) and the error of the reported bucket
@@ -199,7 +199,7 @@ impl LatencyHisto {
     /// Number of recorded samples above `ns`, answered from the buckets:
     /// every bucket whose lower bound exceeds `ns` counts in full, the
     /// bucket containing `ns` does not. Exact in the linear region (values
-    /// below [`LINEAR_MAX`]); above it the boundary bucket introduces at
+    /// below `LINEAR_MAX`); above it the boundary bucket introduces at
     /// most the histogram's ≤ ~1.6% relative quantisation error. The answer
     /// is a pure function of the bucket counts, so merged histograms agree
     /// with single-recorder ones bit for bit.

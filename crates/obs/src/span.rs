@@ -28,6 +28,12 @@ pub enum Stage {
     Doorbell,
     /// Replaying one journalled line during crash recovery.
     RecoveryReplay,
+    /// Held at the admission controller: the gap between a request's first
+    /// offer and the instant a tenant-class token-bucket controller finally
+    /// admitted it (service is always zero — the whole dwell is wait).
+    /// Emitted only for requests that were actually deferred, so
+    /// uncontrolled runs carry no admission stage at all.
+    Admission,
     /// Waiting for the journal flush ahead of a durable write.
     JournalFlush,
     /// Queue-pair forwarding (includes time queued behind the QP).
@@ -45,7 +51,7 @@ pub enum Stage {
 }
 
 /// Number of distinct stages.
-pub const STAGE_COUNT: usize = 12;
+pub const STAGE_COUNT: usize = 13;
 
 impl Stage {
     /// All stages, in pipeline order.
@@ -55,6 +61,7 @@ impl Stage {
         Stage::JournalAppend,
         Stage::Doorbell,
         Stage::RecoveryReplay,
+        Stage::Admission,
         Stage::JournalFlush,
         Stage::QueuePair,
         Stage::CtrlFetch,
@@ -77,6 +84,7 @@ impl Stage {
             Stage::JournalAppend => "journal_append",
             Stage::Doorbell => "doorbell",
             Stage::RecoveryReplay => "recovery_replay",
+            Stage::Admission => "admission",
             Stage::JournalFlush => "journal_flush",
             Stage::QueuePair => "queue_pair",
             Stage::CtrlFetch => "ctrl_fetch",

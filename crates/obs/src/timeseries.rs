@@ -62,6 +62,11 @@ pub struct WindowStats {
     pub cache_misses: u64,
     /// Journal backlog (outstanding records) high-water mark.
     pub journal_backlog_max: u64,
+    /// Admission-controller deferrals issued in this window (a request may
+    /// be deferred more than once; each backoff counts).
+    pub deferrals: u64,
+    /// Requests the admission controller rejected in this window.
+    pub rejections: u64,
 }
 
 impl Default for WindowStats {
@@ -81,6 +86,8 @@ impl Default for WindowStats {
             cache_hits: 0,
             cache_misses: 0,
             journal_backlog_max: 0,
+            deferrals: 0,
+            rejections: 0,
         }
     }
 }
@@ -105,6 +112,8 @@ impl WindowStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.journal_backlog_max = self.journal_backlog_max.max(other.journal_backlog_max);
+        self.deferrals += other.deferrals;
+        self.rejections += other.rejections;
     }
 
     /// Cache hit rate over the window's probes (0.0 when no probes).
@@ -245,6 +254,20 @@ impl WindowedSeries {
     pub fn record_journal_backlog(&mut self, at_ns: u64, records: u64) {
         if let Some(w) = self.window(at_ns) {
             w.journal_backlog_max = w.journal_backlog_max.max(records);
+        }
+    }
+
+    /// Records one admission-controller deferral at `at_ns`.
+    pub fn record_deferral(&mut self, at_ns: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.deferrals += 1;
+        }
+    }
+
+    /// Records one admission-controller rejection at `at_ns`.
+    pub fn record_rejection(&mut self, at_ns: u64) {
+        if let Some(w) = self.window(at_ns) {
+            w.rejections += 1;
         }
     }
 

@@ -22,7 +22,9 @@ use std::sync::mpsc;
 use bam_obs::{merge_indexed_spans, BlameRow, SpanEvent, SpanRecorder, WindowedSeries};
 
 use crate::clock::SimTime;
-use crate::engine::{drive_events_cursor, EngineOutput, IssueState, RequestDesc, SimConfig};
+use crate::engine::{
+    drive_events_cursor, AdmissionState, EngineOutput, IssueState, RequestDesc, SimConfig,
+};
 use crate::pipeline::PipelineParams;
 use crate::shard::{
     merge_tenants, occupancy_stats, Accounting, ObsPlan, OccupancyMeter, Rec, ShardMap, SpanOut,
@@ -55,6 +57,7 @@ pub(crate) fn run_sharded_core(
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
     issue: &mut [IssueState],
+    admission: &mut AdmissionState,
     recorder: Option<&SpanRecorder>,
     workers: usize,
     plan: &ObsPlan<'_>,
@@ -118,6 +121,7 @@ pub(crate) fn run_sharded_core(
             qp_of,
             arrivals,
             issue,
+            admission,
             &mut |rec| {
                 let at = rec.at();
                 let s = map.route(&rec, qp_of);

@@ -10,10 +10,10 @@
 //! Runs are deterministic: the event heap breaks ties by insertion order and
 //! all randomness comes from one seeded SplitMix64 generator.
 //!
-//! Two engines share one timing spine ([`drive_events`]): the inline engine
+//! Two engines share one timing spine (`drive_events`): the inline engine
 //! ([`run`]) applies accounting in the event loop, and the sharded engine
 //! ([`run_sharded`]) streams accounting records to per-SSD worker shards
-//! (see [`crate::shard`] and [`crate::coordinator`]) whose merged results
+//! (the private `shard` and `coordinator` modules) whose merged results
 //! are bit-identical at any worker count.
 
 use std::collections::VecDeque;
@@ -33,7 +33,7 @@ use crate::report::{
     build_run_telemetry, DepthTimeline, MultiTenantReport, RunTelemetry, SimReport, TenantSummary,
 };
 use crate::shard::{occupancy_stats, Accounting, ObsPlan, Rec, SpanOut, TenantAcc};
-use crate::tenant::{ArrivalProcess, Superposition, TenantSpec};
+use crate::tenant::{ArrivalProcess, Superposition, TenantClass, TenantSpec};
 
 /// What run-level telemetry the engines collect.
 ///
@@ -237,6 +237,162 @@ impl IssueState {
     }
 }
 
+/// `ln(100)`: the p99-to-mean ratio of an exponential sojourn tail
+/// (`P[T > t] = e^(-t/mean)` crosses 1% at `t = mean·ln 100`). Hardcoded so
+/// controller thresholds never depend on the platform's `ln`.
+const LN_100: f64 = 4.605_170_185_988_092;
+
+/// The admission controller of one tenant class, actuating its SLO in the
+/// arrival path.
+///
+/// The control law inverts Little's law: with offered rate λ and an
+/// exponential-tail projection, the class's p99 stays under `target_p99_us`
+/// while its in-flight population stays under
+/// `steady_state_in_flight(λ, target_p99_us / ln 100)`. Below that depth
+/// every request is admitted. Above it, admissions draw from a token bucket
+/// (so transient bursts ride through); an empty bucket defers the request by
+/// `defer_ns`, and a request that exhausts `max_defers` is rejected.
+///
+/// All decisions run on the sequential timing spine over virtual time, so
+/// they are deterministic and invariant under the engine's worker count.
+#[derive(Debug)]
+pub(crate) struct AdmissionCtl {
+    /// In-flight depth below which admission is unconditional.
+    depth_limit: u64,
+    /// The class's currently admitted-but-incomplete requests.
+    in_flight: u64,
+    /// Token bucket: current fill, capacity, and virtual-time refill rate.
+    tokens: f64,
+    burst: f64,
+    refill_per_s: f64,
+    last_refill: SimTime,
+    /// Deferral backoff and per-request deferral budget.
+    defer_ns: u64,
+    max_defers: u32,
+}
+
+/// What the admission controller decided for one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Enter the pipeline now.
+    Admit,
+    /// Re-offer after the class's deferral backoff.
+    Defer { until_ns: u64 },
+    /// Drop the request; it never enters the pipeline.
+    Reject,
+}
+
+impl AdmissionCtl {
+    fn new(
+        spec: &crate::tenant::AdmissionSpec,
+        offered_rate_per_s: f64,
+        target_p99_us: f64,
+    ) -> Self {
+        assert!(
+            offered_rate_per_s > 0.0,
+            "admission control needs a positive offered rate"
+        );
+        assert!(target_p99_us > 0.0, "admission control needs a p99 budget");
+        let depth_limit =
+            bam_timing::steady_state_in_flight(offered_rate_per_s, target_p99_us / LN_100).floor()
+                as u64;
+        Self {
+            depth_limit: depth_limit.max(1),
+            in_flight: 0,
+            tokens: f64::from(spec.burst),
+            burst: f64::from(spec.burst),
+            refill_per_s: spec.refill_per_s,
+            last_refill: SimTime::ZERO,
+            defer_ns: spec.defer_ns,
+            max_defers: spec.max_defers,
+        }
+    }
+
+    /// The depth threshold the control law derived from the class's SLO.
+    pub(crate) fn depth_limit(&self) -> u64 {
+        self.depth_limit
+    }
+
+    fn decide(&mut self, now: SimTime, defers_so_far: u32) -> Admission {
+        let elapsed_ns = now - self.last_refill;
+        self.tokens = (self.tokens + elapsed_ns as f64 * self.refill_per_s / 1e9).min(self.burst);
+        self.last_refill = now;
+        if self.in_flight < self.depth_limit {
+            self.in_flight += 1;
+            return Admission::Admit;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.in_flight += 1;
+            return Admission::Admit;
+        }
+        if defers_so_far < self.max_defers {
+            Admission::Defer {
+                until_ns: now.as_ns() + self.defer_ns,
+            }
+        } else {
+            Admission::Reject
+        }
+    }
+}
+
+/// Per-run admission state: one optional controller per engine tenant plus
+/// each request's deferral count. [`AdmissionState::none`] (every
+/// non-class entry point) is a zero-cost pass-through — the spine's event
+/// schedule is byte-identical to the pre-admission engine's.
+pub(crate) struct AdmissionState {
+    ctls: Vec<Option<AdmissionCtl>>,
+    /// Deferrals each request has absorbed so far (empty when no controller
+    /// is armed).
+    defers: Vec<u32>,
+}
+
+impl AdmissionState {
+    /// No admission control anywhere: every offer admits immediately.
+    pub(crate) fn none() -> Self {
+        Self {
+            ctls: Vec::new(),
+            defers: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new(ctls: Vec<Option<AdmissionCtl>>, num_requests: usize) -> Self {
+        let armed = ctls.iter().any(Option::is_some);
+        Self {
+            ctls,
+            defers: if armed {
+                vec![0; num_requests]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Deferrals request `req` has absorbed so far.
+    fn defer_count(&self, req: u32) -> u32 {
+        self.defers.get(req as usize).copied().unwrap_or(0)
+    }
+
+    /// Runs tenant `tenant`'s controller (if armed) on an offer of `req`.
+    fn offer(&mut self, tenant: usize, req: u32, now: SimTime) -> Admission {
+        let Some(ctl) = self.ctls.get_mut(tenant).and_then(Option::as_mut) else {
+            return Admission::Admit;
+        };
+        let decision = ctl.decide(now, self.defers[req as usize]);
+        if let Admission::Defer { .. } = decision {
+            self.defers[req as usize] += 1;
+        }
+        decision
+    }
+
+    /// Releases one in-flight slot of `tenant`'s controller on completion.
+    fn complete(&mut self, tenant: usize) {
+        if let Some(ctl) = self.ctls.get_mut(tenant).and_then(Option::as_mut) {
+            ctl.in_flight -= 1;
+        }
+    }
+}
+
 /// Worst-case simultaneously pending events, reserved up front so the heap
 /// never reallocates mid-run: every not-yet-popped pre-scheduled arrival,
 /// at most one in-service event per in-flight request, and up to two pending
@@ -273,6 +429,7 @@ pub(crate) struct SpineOutcome {
 /// before any heap event at the same instant, which is exactly the heap
 /// order (pre-scheduled arrivals always carry lower insertion sequences than
 /// runtime events), so both modes process the identical event sequence.
+#[allow(clippy::too_many_arguments)]
 fn drive_events<const CURSOR: bool>(
     config: &SimConfig,
     requests: &[RequestDesc],
@@ -280,6 +437,7 @@ fn drive_events<const CURSOR: bool>(
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
     issue: &mut [IssueState],
+    admission: &mut AdmissionState,
     sink: &mut impl FnMut(Rec),
 ) -> SpineOutcome {
     let n = requests.len() as u64;
@@ -306,6 +464,7 @@ fn drive_events<const CURSOR: bool>(
     let mut media_service: Vec<u64> = vec![0; requests.len()];
 
     let mut completed: u64 = 0;
+    let mut rejected: u64 = 0;
     let mut depth_timeline = DepthTimeline::default();
     let mut depth: u32 = 0;
     let mut now = SimTime::ZERO;
@@ -372,23 +531,51 @@ fn drive_events<const CURSOR: bool>(
         processed += 1;
         match event {
             Event::Arrive { req } => {
-                sink(Rec::Arrive { req, at: now });
-                depth += 1;
-                depth_timeline.record(now, depth);
-                // A write's journal record must be durable before the
-                // request may ring its doorbell; when journalling is off
-                // (`journal_flush_ns == 0`) no extra event exists and the
-                // schedule is identical to the unjournalled engine.
-                if requests[req as usize].write && p.journal_flush_ns > 0 {
-                    events.schedule(now + p.journal_flush_ns, Event::JournalFlushed { req });
-                } else {
-                    let qp = qp_of[req as usize] as usize;
-                    if queue_pairs[qp].admit(req) {
-                        events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
-                        events
-                            .schedule(now + p.qp_recovery_ns, Event::QpRecovered { qp: qp as u32 });
+                // Latency is measured from the *first* offer: a deferred
+                // request's re-offers don't re-arm its arrival record, so
+                // its admission wait counts against its latency.
+                let deferred_before = admission.defer_count(req);
+                if deferred_before == 0 {
+                    sink(Rec::Arrive { req, at: now });
+                }
+                match admission.offer(tenant_of[req as usize] as usize, req, now) {
+                    Admission::Admit => {
+                        if deferred_before > 0 {
+                            // The whole dwell since first offer is admission
+                            // wait (zero service), so stage dwells still tile
+                            // the request's latency exactly.
+                            mark!(req, Stage::Admission, 0);
+                        }
+                        depth += 1;
+                        depth_timeline.record(now, depth);
+                        // A write's journal record must be durable before the
+                        // request may ring its doorbell; when journalling is
+                        // off (`journal_flush_ns == 0`) no extra event exists
+                        // and the schedule is identical to the unjournalled
+                        // engine.
+                        if requests[req as usize].write && p.journal_flush_ns > 0 {
+                            events
+                                .schedule(now + p.journal_flush_ns, Event::JournalFlushed { req });
+                        } else {
+                            let qp = qp_of[req as usize] as usize;
+                            if queue_pairs[qp].admit(req) {
+                                events.schedule(now + p.qp_forward_ns, Event::QpForwarded { req });
+                                events.schedule(
+                                    now + p.qp_recovery_ns,
+                                    Event::QpRecovered { qp: qp as u32 },
+                                );
+                            }
+                            meter!(qp);
+                        }
                     }
-                    meter!(qp);
+                    Admission::Defer { until_ns } => {
+                        sink(Rec::Defer { req, at: now });
+                        events.schedule(SimTime::from_ns(until_ns), Event::Arrive { req });
+                    }
+                    Admission::Reject => {
+                        sink(Rec::Reject { req, at: now });
+                        rejected += 1;
+                    }
                 }
             }
             Event::JournalFlushed { req } => {
@@ -486,6 +673,7 @@ fn drive_events<const CURSOR: bool>(
                 completed += 1;
                 depth -= 1;
                 depth_timeline.record(now, depth);
+                admission.complete(tenant_of[req as usize] as usize);
                 // Closed-loop tenants launch their next request immediately.
                 let t = &mut issue[tenant_of[req as usize] as usize];
                 if t.refill.is_some() && t.issued < t.count {
@@ -495,9 +683,10 @@ fn drive_events<const CURSOR: bool>(
                 }
             }
         }
-        // The nth completion is necessarily the last one (events pop in time
-        // order); anything still queued is bookkeeping for finished requests.
-        if completed == n {
+        // Once every request has either completed or been rejected, anything
+        // still queued is bookkeeping for finished requests (events pop in
+        // time order, so the last settlement is necessarily final).
+        if completed + rejected == n {
             break;
         }
     }
@@ -570,6 +759,7 @@ pub(crate) fn execute(
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
     issue: &mut [IssueState],
+    admission: &mut AdmissionState,
     recorder: Option<&SpanRecorder>,
     mode: EngineMode,
     plan: &ObsPlan<'_>,
@@ -594,6 +784,7 @@ pub(crate) fn execute(
                 qp_of,
                 arrivals,
                 issue,
+                admission,
                 &mut |rec| acct.apply(rec),
             );
             let (occupancy_mean, occupancy_max) = occupancy_stats(&acct.meters, spine.end);
@@ -613,13 +804,14 @@ pub(crate) fn execute(
             }
         }
         EngineMode::Sharded(workers) => coordinator::run_sharded_core(
-            config, requests, tenant_of, qp_of, arrivals, issue, recorder, workers, plan,
+            config, requests, tenant_of, qp_of, arrivals, issue, admission, recorder, workers, plan,
         ),
     }
 }
 
 /// The cursor-fed spine entry point for the coordinator (monomorphized
 /// separately from the inline engine's heap-fed one).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_events_cursor(
     config: &SimConfig,
     requests: &[RequestDesc],
@@ -627,9 +819,12 @@ pub(crate) fn drive_events_cursor(
     qp_of: &[u32],
     arrivals: &[(SimTime, u32)],
     issue: &mut [IssueState],
+    admission: &mut AdmissionState,
     sink: &mut impl FnMut(Rec),
 ) -> SpineOutcome {
-    drive_events::<true>(config, requests, tenant_of, qp_of, arrivals, issue, sink)
+    drive_events::<true>(
+        config, requests, tenant_of, qp_of, arrivals, issue, admission, sink,
+    )
 }
 
 /// Runs `requests` through the pipeline under the given arrival process and
@@ -835,9 +1030,19 @@ fn run_with(
     let plan = ObsPlan {
         telemetry,
         tenant_slo_windows: &[0],
+        member_of: None,
     };
     let mut outcome = execute(
-        config, requests, &tenant_of, &qp_of, &arrivals, &mut issue, recorder, mode, &plan,
+        config,
+        requests,
+        &tenant_of,
+        &qp_of,
+        &arrivals,
+        &mut issue,
+        &mut AdmissionState::none(),
+        recorder,
+        mode,
+        &plan,
     );
     let series = std::mem::replace(&mut outcome.series, WindowedSeries::new(0));
     let blame_rows = std::mem::take(&mut outcome.blame_rows);
@@ -865,7 +1070,7 @@ fn run_with(
 /// Each tenant's `requests` block uses the pipeline's access size with its
 /// writes Bresenham-interleaved, routed round-robin across the tenant's
 /// queue-pair allocation. Arrival streams are generated from per-tenant RNGs
-/// ([`TenantSpec::rng`]), so a tenant's stream is invariant under changes to
+/// (`TenantSpec::rng`), so a tenant's stream is invariant under changes to
 /// its neighbours.
 ///
 /// # Panics
@@ -1066,6 +1271,7 @@ fn run_tenants_with(
     let plan = ObsPlan {
         telemetry,
         tenant_slo_windows: &slo_windows,
+        member_of: None,
     };
     let mut outcome = execute(
         config,
@@ -1074,6 +1280,7 @@ fn run_tenants_with(
         &qp_of,
         &superposition.arrivals,
         &mut issue,
+        &mut AdmissionState::none(),
         recorder,
         mode,
         &plan,
@@ -1112,7 +1319,403 @@ fn run_tenants_with(
             last_completion_s: acc.last_completion.as_secs_f64(),
             stages: acc.stages,
             slo,
+            admission: None,
+            members: Vec::new(),
         });
+    }
+    let report = MultiTenantReport {
+        overall: SimReport::build(
+            all_latencies,
+            outcome.read_latencies,
+            outcome.write_latencies,
+            outcome.depth,
+            outcome.end,
+            outcome.events,
+            outcome.occupancy_mean,
+            outcome.occupancy_max,
+            overall_stages,
+        ),
+        tenants: summaries,
+    };
+    (report, run_telemetry)
+}
+
+/// Accounting granularity of a class run (see [`run_classes`]).
+enum ClassGranularity {
+    /// One engine tenant per class — the production mode, O(classes)
+    /// accounting regardless of member count. With `attribution` the
+    /// thinned per-member histograms are collected too.
+    Class { attribution: bool },
+    /// One engine tenant per logical member: the *oracle* mode the
+    /// equivalence suite compares against. The merged stream, routing and
+    /// request table are identical to `Class` mode — only accounting
+    /// granularity changes — so the overall report must match bit for bit.
+    Member,
+}
+
+/// Runs the closed-form-merged streams of `classes` through the pipeline:
+/// one engine-level stream per class, so a million logical tenants cost
+/// O(classes) in the event loop. Classes with an [`crate::AdmissionSpec`]
+/// get per-class SLO admission control in the arrival path (reported via
+/// [`TenantSummary::admission`]).
+///
+/// # Panics
+///
+/// Panics if `classes` is empty, ids repeat, a class has zero members, or a
+/// class arms admission without an SLO or with a closed-loop process (a
+/// closed loop has no open-loop offered rate to project from).
+pub fn run_classes(
+    config: &SimConfig,
+    classes: &[TenantClass],
+    policy: QueuePairPolicy,
+    workers: usize,
+) -> MultiTenantReport {
+    run_classes_core(
+        config,
+        classes,
+        policy,
+        mode_for(workers),
+        TelemetrySpec::disabled(),
+        ClassGranularity::Class { attribution: false },
+    )
+    .0
+}
+
+/// [`run_classes`] with run-level telemetry (see [`run_observed`]).
+/// Bit-identical at any worker count.
+pub fn run_classes_observed(
+    config: &SimConfig,
+    classes: &[TenantClass],
+    policy: QueuePairPolicy,
+    workers: usize,
+    telemetry: TelemetrySpec,
+) -> (MultiTenantReport, RunTelemetry) {
+    run_classes_core(
+        config,
+        classes,
+        policy,
+        mode_for(workers),
+        telemetry,
+        ClassGranularity::Class { attribution: false },
+    )
+}
+
+/// [`run_classes`] with thinned per-member attribution: each class's
+/// [`TenantSummary::members`] carries one [`crate::report::MemberSummary`]
+/// per synthetic member that completed a request. The report is otherwise
+/// bit-identical to [`run_classes`]'s — attribution reads the thinning
+/// stream, never the arrival stream.
+pub fn run_classes_attributed(
+    config: &SimConfig,
+    classes: &[TenantClass],
+    policy: QueuePairPolicy,
+    workers: usize,
+) -> MultiTenantReport {
+    run_classes_core(
+        config,
+        classes,
+        policy,
+        mode_for(workers),
+        TelemetrySpec::disabled(),
+        ClassGranularity::Class { attribution: true },
+    )
+    .0
+}
+
+/// The equivalence oracle: runs the *same* merged streams as
+/// [`run_classes`], but accounts each logical member as its own engine
+/// tenant (one [`TenantSummary`] per member, in `(class, member)` order).
+/// The overall report is bit-identical to [`run_classes`]'s, and each
+/// member's latencies equal its [`run_classes_attributed`] histogram — the
+/// property `tests/class_equivalence.rs` asserts.
+///
+/// O(total members) accounting: meant for small oracle runs, not the
+/// million-tenant path.
+///
+/// # Panics
+///
+/// Panics on [`run_classes`]'s conditions, or if any class is closed-loop or
+/// arms admission (the oracle covers open, uncontrolled streams).
+pub fn run_class_members(
+    config: &SimConfig,
+    classes: &[TenantClass],
+    policy: QueuePairPolicy,
+    workers: usize,
+) -> MultiTenantReport {
+    run_classes_core(
+        config,
+        classes,
+        policy,
+        mode_for(workers),
+        TelemetrySpec::disabled(),
+        ClassGranularity::Member,
+    )
+    .0
+}
+
+fn mode_for(workers: usize) -> EngineMode {
+    if workers <= 1 {
+        EngineMode::Inline
+    } else {
+        EngineMode::Sharded(workers)
+    }
+}
+
+fn run_classes_core(
+    config: &SimConfig,
+    classes: &[TenantClass],
+    policy: QueuePairPolicy,
+    mode: EngineMode,
+    telemetry: TelemetrySpec,
+    granularity: ClassGranularity,
+) -> (MultiTenantReport, RunTelemetry) {
+    assert!(!classes.is_empty(), "no classes to simulate");
+    assert!(
+        config.total_queue_pairs() > 0,
+        "need at least one queue pair"
+    );
+    for (i, c) in classes.iter().enumerate() {
+        assert!(
+            classes[..i].iter().all(|u| u.id != c.id),
+            "duplicate class id {}",
+            c.id
+        );
+        assert!(c.members > 0, "class {} has no members", c.id);
+        if c.admission.is_some() {
+            assert!(
+                c.slo.is_some(),
+                "class {} arms admission without an SLO budget",
+                c.id
+            );
+            assert!(
+                c.offered_rate_per_s().is_some(),
+                "class {} arms admission on a closed loop",
+                c.id
+            );
+        }
+        if matches!(granularity, ClassGranularity::Member) {
+            assert!(
+                c.admission.is_none()
+                    && !matches!(c.member_arrival, ArrivalProcess::ClosedLoop { .. }),
+                "the member oracle covers open, uncontrolled classes (class {})",
+                c.id
+            );
+        }
+    }
+
+    let total_qps = config.total_queue_pairs();
+    let weights: Vec<u32> = classes.iter().map(|c| c.weight).collect();
+    let shares: Vec<u32> = match policy {
+        QueuePairPolicy::Shared => vec![total_qps; classes.len()],
+        QueuePairPolicy::WeightedFair => fair_shares(total_qps, &weights),
+    };
+    let mut share_base: Vec<u32> = Vec::with_capacity(classes.len());
+    let mut acc = 0u32;
+    for &s in &shares {
+        share_base.push(acc);
+        acc += s;
+    }
+
+    // Flat request table, routed exactly as a merged explicit tenant would
+    // be: the class's own arrival counter drives the round-robin, so the
+    // schedule is independent of accounting granularity.
+    let mut bases: Vec<u64> = Vec::with_capacity(classes.len());
+    let mut requests: Vec<RequestDesc> = Vec::new();
+    let mut class_of: Vec<u32> = Vec::new();
+    let mut qp_of: Vec<u32> = Vec::new();
+    for (ci, c) in classes.iter().enumerate() {
+        bases.push(requests.len() as u64);
+        requests.extend(mixed_requests(config, c.requests, c.writes));
+        for k in 0..c.requests {
+            class_of.push(ci as u32);
+            let k = k as u32;
+            let qp = match policy {
+                QueuePairPolicy::Shared => {
+                    let device = k % config.num_ssds;
+                    let local = (k / config.num_ssds) % config.queue_pairs_per_ssd;
+                    device * config.queue_pairs_per_ssd + local
+                }
+                QueuePairPolicy::WeightedFair => share_base[ci] + (k % shares[ci]),
+            };
+            qp_of.push(qp);
+        }
+    }
+
+    let (superposition, member_of) = Superposition::generate_classes(config.seed, classes, &bases);
+
+    let mut issue: Vec<IssueState>;
+    let tenant_of: Vec<u32>;
+    let slo_windows: Vec<u64>;
+    let mut admission: AdmissionState;
+    let attribution = match granularity {
+        ClassGranularity::Class { attribution } => {
+            tenant_of = class_of;
+            issue = classes
+                .iter()
+                .zip(&bases)
+                .map(|(c, &base)| {
+                    let merged = c.merged_arrival();
+                    let refill = match merged {
+                        ArrivalProcess::ClosedLoop { in_flight } => Some(in_flight),
+                        _ => None,
+                    };
+                    IssueState::new(base, c.requests, merged.prescheduled(c.requests), refill)
+                })
+                .collect();
+            slo_windows = classes
+                .iter()
+                .map(|c| c.slo.map_or(0, |s| s.window_ns))
+                .collect();
+            let ctls: Vec<Option<AdmissionCtl>> = classes
+                .iter()
+                .map(|c| {
+                    c.admission.as_ref().map(|spec| {
+                        AdmissionCtl::new(
+                            spec,
+                            c.offered_rate_per_s().expect("asserted open"),
+                            c.slo.expect("asserted SLO").target_p99_us,
+                        )
+                    })
+                })
+                .collect();
+            admission = AdmissionState::new(ctls, requests.len());
+            attribution
+        }
+        ClassGranularity::Member => {
+            // One accounting slot per logical member, in (class, member)
+            // order. Issue state is vestigial (open streams never refill).
+            let mut member_base: Vec<u32> = Vec::with_capacity(classes.len());
+            let mut acc = 0u32;
+            for c in classes {
+                member_base.push(acc);
+                acc += c.members;
+            }
+            tenant_of = class_of
+                .iter()
+                .zip(&member_of)
+                .map(|(&ci, &m)| member_base[ci as usize] + m)
+                .collect();
+            issue = (0..acc).map(|_| IssueState::new(0, 0, 0, None)).collect();
+            slo_windows = vec![0; acc as usize];
+            admission = AdmissionState::none();
+            false
+        }
+    };
+
+    let plan = ObsPlan {
+        telemetry,
+        tenant_slo_windows: &slo_windows,
+        member_of: attribution.then_some(member_of.as_slice()),
+    };
+    let mut outcome = execute(
+        config,
+        &requests,
+        &tenant_of,
+        &qp_of,
+        &superposition.arrivals,
+        &mut issue,
+        &mut admission,
+        None,
+        mode,
+        &plan,
+    );
+    let series = std::mem::replace(&mut outcome.series, WindowedSeries::new(0));
+    let blame_rows = std::mem::take(&mut outcome.blame_rows);
+    let run_telemetry =
+        build_run_telemetry(series, blame_rows, &outcome.depth, telemetry.blame_top_k);
+
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut overall_stages = StageBreakdown::new();
+    let mut summaries: Vec<TenantSummary> = Vec::new();
+    match granularity {
+        ClassGranularity::Class { .. } => {
+            for (ci, ((c, acc), &share)) in
+                classes.iter().zip(outcome.tenants).zip(&shares).enumerate()
+            {
+                all_latencies.extend_from_slice(&acc.latencies);
+                overall_stages.merge(&acc.stages);
+                let slo = c
+                    .slo
+                    .as_ref()
+                    .map(|spec| evaluate_slo(&acc.slo_series, spec));
+                let admission_report = c.admission.map(|_| {
+                    let depth_limit = admission.ctls[ci]
+                        .as_ref()
+                        .map_or(0, AdmissionCtl::depth_limit);
+                    crate::report::AdmissionReport {
+                        offered: acc.offered,
+                        admitted: acc.offered - acc.rejected,
+                        deferrals: acc.deferrals,
+                        rejected: acc.rejected,
+                        depth_limit,
+                    }
+                });
+                let members: Vec<crate::report::MemberSummary> = acc
+                    .members
+                    .into_iter()
+                    .map(|(member, histo)| crate::report::MemberSummary {
+                        member,
+                        completed: histo.count(),
+                        latency: crate::report::LatencySummary::from_histo(&histo),
+                        histogram: histo,
+                    })
+                    .collect();
+                let histo = bam_obs::LatencyHisto::from_samples(acc.latencies);
+                let first_arrival = acc.first_arrival.unwrap_or(SimTime::ZERO);
+                let span_s = (acc.last_completion - first_arrival) as f64 / 1e9;
+                summaries.push(TenantSummary {
+                    id: c.id,
+                    name: c.name.clone(),
+                    weight: c.weight,
+                    queue_pairs: share,
+                    latency: crate::report::LatencySummary::from_histo(&histo),
+                    completed: histo.count(),
+                    throughput_per_s: if span_s > 0.0 {
+                        histo.count() as f64 / span_s
+                    } else {
+                        0.0
+                    },
+                    first_arrival_s: first_arrival.as_secs_f64(),
+                    last_completion_s: acc.last_completion.as_secs_f64(),
+                    stages: acc.stages,
+                    slo,
+                    admission: admission_report,
+                    members,
+                });
+            }
+        }
+        ClassGranularity::Member => {
+            let mut accs = outcome.tenants.into_iter();
+            for (c, &share) in classes.iter().zip(&shares) {
+                for m in 0..c.members {
+                    let acc = accs.next().expect("one account per member");
+                    all_latencies.extend_from_slice(&acc.latencies);
+                    overall_stages.merge(&acc.stages);
+                    let histo = bam_obs::LatencyHisto::from_samples(acc.latencies);
+                    let first_arrival = acc.first_arrival.unwrap_or(SimTime::ZERO);
+                    let span_s = (acc.last_completion - first_arrival) as f64 / 1e9;
+                    summaries.push(TenantSummary {
+                        id: m,
+                        name: format!("{}#{m}", c.name),
+                        weight: c.weight,
+                        queue_pairs: share,
+                        latency: crate::report::LatencySummary::from_histo(&histo),
+                        completed: histo.count(),
+                        throughput_per_s: if span_s > 0.0 {
+                            histo.count() as f64 / span_s
+                        } else {
+                            0.0
+                        },
+                        first_arrival_s: first_arrival.as_secs_f64(),
+                        last_completion_s: acc.last_completion.as_secs_f64(),
+                        stages: acc.stages,
+                        slo: None,
+                        admission: None,
+                        members: Vec::new(),
+                    });
+                }
+            }
+        }
     }
     let report = MultiTenantReport {
         overall: SimReport::build(
@@ -1548,11 +2151,13 @@ mod tests {
             &qp_of,
             &arrivals,
             &mut issue,
+            &mut AdmissionState::none(),
             None,
             mode,
             &ObsPlan {
                 telemetry: TelemetrySpec::disabled(),
                 tenant_slo_windows: &[0],
+                member_of: None,
             },
         )
     }

@@ -19,7 +19,10 @@
 //!   sources (fixed-rate, Poisson, closed-loop, and [`dist::Mmpp2`] bursts)
 //!   superposed into one stream ([`tenant::Superposition`]), with queue
 //!   pairs allocated shared or weighted-fair
-//!   ([`pipeline::QueuePairPolicy`]).
+//!   ([`pipeline::QueuePairPolicy`]); [`tenant::TenantClass`] merges
+//!   millions of statistically identical logical tenants in closed form
+//!   (O(classes) event-loop cost) with thinned member attribution and
+//!   optional SLO admission control ([`tenant::AdmissionSpec`]).
 //! * [`report::SimReport`] — percentiles, depth timelines, occupancy, and
 //!   the Little's-law cross-check against `bam_timing::littles`;
 //!   [`report::MultiTenantReport`] adds per-tenant accounting and the
@@ -65,15 +68,16 @@ pub use bam_obs::{
 pub use clock::SimTime;
 pub use dist::{LatencyDist, Mmpp2, MmppDwellStats};
 pub use engine::{
-    run, run_observed, run_sharded, run_sharded_traced, run_tenants, run_tenants_observed,
+    run, run_class_members, run_classes, run_classes_attributed, run_classes_observed,
+    run_observed, run_sharded, run_sharded_traced, run_tenants, run_tenants_observed,
     run_tenants_sharded, run_tenants_sharded_traced, run_tenants_traced, run_tenants_with_workers,
     run_traced, run_traced_with_workers, run_with_workers, uniform_reads, RequestDesc, SimConfig,
     TelemetrySpec, Workload,
 };
 pub use pipeline::{fair_shares, tail_sigma, PipelineParams, QueuePairPolicy};
 pub use report::{
-    interference_ratio, DepthTimeline, LatencySummary, MultiTenantReport, RunTelemetry, SimReport,
-    TenantSummary,
+    interference_ratio, AdmissionReport, DepthTimeline, LatencySummary, MemberSummary,
+    MultiTenantReport, RunTelemetry, SimReport, TenantSummary,
 };
-pub use tenant::{ArrivalProcess, Superposition, TenantSpec};
+pub use tenant::{AdmissionSpec, ArrivalProcess, Superposition, TenantClass, TenantSpec};
 pub use trace::{IoTrace, TraceRecorder};

@@ -223,6 +223,42 @@ impl SimReport {
     }
 }
 
+/// What a tenant class's admission controller did over one run (see
+/// [`crate::TenantClass`] and [`crate::AdmissionSpec`]). All counters are in
+/// requests; `offered` counts each request once regardless of how many times
+/// it was re-offered after deferral, so
+/// `offered == admitted + rejected`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    /// Requests offered to the controller (first offers only).
+    pub offered: u64,
+    /// Requests that entered the pipeline (possibly after deferrals).
+    pub admitted: u64,
+    /// Deferral decisions (one request may defer several times).
+    pub deferrals: u64,
+    /// Requests dropped after exhausting their deferral budget.
+    pub rejected: u64,
+    /// The in-flight depth threshold the Little's-law control law derived
+    /// from the class's SLO budget.
+    pub depth_limit: u64,
+}
+
+/// One synthetic member's share of a tenant class, attributed by
+/// deterministic thinning (see [`crate::TenantClass::member_of`]). Present
+/// only on class runs that requested attribution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemberSummary {
+    /// The member's index within its class (`0..members`).
+    pub member: u32,
+    /// Requests attributed to this member that completed.
+    pub completed: u64,
+    /// Latency summary over the member's completions.
+    pub latency: LatencySummary,
+    /// The member's full latency histogram; member histograms merge exactly
+    /// to the class's aggregate.
+    pub histogram: LatencyHisto,
+}
+
 /// Per-tenant accounting of one multi-tenant run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TenantSummary {
@@ -248,8 +284,17 @@ pub struct TenantSummary {
     /// Per-stage dwell-time histograms over the tenant's own requests.
     pub stages: StageBreakdown,
     /// The tenant's SLO evaluation, when its [`crate::TenantSpec`] carries
-    /// a [`bam_obs::SloSpec`].
+    /// a [`bam_obs::SloSpec`]. For class runs this is evaluated over the
+    /// *achieved* completions, so with a controller armed it reads as the
+    /// post-control burn rate.
     pub slo: Option<SloReport>,
+    /// The class's admission-controller accounting, when this summary row is
+    /// a [`crate::TenantClass`] with an [`crate::AdmissionSpec`] armed.
+    pub admission: Option<AdmissionReport>,
+    /// Thinned per-member attribution, when this summary row is a class run
+    /// through [`crate::engine::run_classes_attributed`]. Sorted by member
+    /// index; members with no completions are absent.
+    pub members: Vec<MemberSummary>,
 }
 
 /// Everything a multi-tenant simulation run produces: the merged view plus
@@ -359,6 +404,51 @@ impl MultiTenantReport {
                 "bam_slo_burn_rate",
                 "Tail-error-budget burn rate (1.0 = exactly on a 1% budget).",
                 &burn,
+            );
+        }
+        let admission: Vec<(&[(&str, &str)], AdmissionReport)> = self
+            .tenants
+            .iter()
+            .zip(&labels)
+            .filter_map(|(t, l)| t.admission.map(|a| (l.as_slice(), a)))
+            .collect();
+        if !admission.is_empty() {
+            let offered: Vec<(&[(&str, &str)], u64)> =
+                admission.iter().map(|(l, a)| (*l, a.offered)).collect();
+            w.counter_family(
+                "bam_admission_offered",
+                "Requests offered to the class's admission controller.",
+                &offered,
+            );
+            let admitted: Vec<(&[(&str, &str)], u64)> =
+                admission.iter().map(|(l, a)| (*l, a.admitted)).collect();
+            w.counter_family(
+                "bam_admission_admitted",
+                "Requests the controller let into the pipeline.",
+                &admitted,
+            );
+            let deferrals: Vec<(&[(&str, &str)], u64)> =
+                admission.iter().map(|(l, a)| (*l, a.deferrals)).collect();
+            w.counter_family(
+                "bam_admission_deferrals",
+                "Deferral decisions (a request may defer more than once).",
+                &deferrals,
+            );
+            let rejected: Vec<(&[(&str, &str)], u64)> =
+                admission.iter().map(|(l, a)| (*l, a.rejected)).collect();
+            w.counter_family(
+                "bam_admission_rejected",
+                "Requests dropped after exhausting their deferral budget.",
+                &rejected,
+            );
+            let depth: Vec<(&[(&str, &str)], f64)> = admission
+                .iter()
+                .map(|(l, a)| (*l, a.depth_limit as f64))
+                .collect();
+            w.gauge_family(
+                "bam_admission_depth_limit",
+                "In-flight depth threshold derived from the class's SLO.",
+                &depth,
             );
         }
         w.finish()

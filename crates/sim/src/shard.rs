@@ -29,6 +29,10 @@ use crate::engine::{RequestDesc, TelemetrySpec};
 pub(crate) struct ObsPlan<'a> {
     pub(crate) telemetry: TelemetrySpec,
     pub(crate) tenant_slo_windows: &'a [u64],
+    /// Thinned member attribution for class runs: `member_of[req]` is the
+    /// synthetic member (within its class) each request belongs to. `None`
+    /// skips per-member accounting entirely.
+    pub(crate) member_of: Option<&'a [u32]>,
 }
 
 /// Time-weighted occupancy accounting for one queue pair.
@@ -103,6 +107,12 @@ pub(crate) enum Rec {
         at: SimTime,
         occupancy: u64,
     },
+    /// The admission controller pushed request `req` back at `at` (it will
+    /// be re-offered after its class's deferral backoff).
+    Defer { req: u32, at: SimTime },
+    /// The admission controller rejected request `req` at `at` (it exhausted
+    /// its deferral budget and never enters the pipeline).
+    Reject { req: u32, at: SimTime },
 }
 
 impl Rec {
@@ -112,7 +122,9 @@ impl Rec {
             Rec::Arrive { at, .. }
             | Rec::Stage { at, .. }
             | Rec::Complete { at, .. }
-            | Rec::Meter { at, .. } => at,
+            | Rec::Meter { at, .. }
+            | Rec::Defer { at, .. }
+            | Rec::Reject { at, .. } => at,
         }
     }
 }
@@ -143,9 +155,11 @@ impl ShardMap {
     /// The shard a record routes to.
     pub(crate) fn route(&self, rec: &Rec, qp_of: &[u32]) -> usize {
         match *rec {
-            Rec::Arrive { req, .. } | Rec::Stage { req, .. } | Rec::Complete { req, .. } => {
-                self.of_qp(qp_of[req as usize])
-            }
+            Rec::Arrive { req, .. }
+            | Rec::Stage { req, .. }
+            | Rec::Complete { req, .. }
+            | Rec::Defer { req, .. }
+            | Rec::Reject { req, .. } => self.of_qp(qp_of[req as usize]),
             Rec::Meter { qp, .. } => self.of_qp(qp),
         }
     }
@@ -166,6 +180,17 @@ pub(crate) struct TenantAcc {
     /// The tenant's completion telemetry on its SLO evaluation window
     /// (disabled — window 0 — for tenants without an SLO).
     pub(crate) slo_series: WindowedSeries,
+    /// Requests first offered to the tenant (deferral re-offers not
+    /// recounted).
+    pub(crate) offered: u64,
+    /// Admission-controller deferral decisions (one request may defer more
+    /// than once).
+    pub(crate) deferrals: u64,
+    /// Requests the admission controller rejected outright.
+    pub(crate) rejected: u64,
+    /// Per-member completion histograms for class runs with thinned
+    /// attribution (empty when `ObsPlan::member_of` is `None`).
+    pub(crate) members: std::collections::BTreeMap<u32, bam_obs::LatencyHisto>,
 }
 
 impl TenantAcc {
@@ -176,6 +201,10 @@ impl TenantAcc {
             last_completion: SimTime::ZERO,
             stages: StageBreakdown::new(),
             slo_series: WindowedSeries::new(slo_window_ns),
+            offered: 0,
+            deferrals: 0,
+            rejected: 0,
+            members: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -197,6 +226,12 @@ pub(crate) fn merge_tenants(parts: Vec<Vec<TenantAcc>>) -> Vec<TenantAcc> {
             into.last_completion = into.last_completion.max(from.last_completion);
             into.stages.merge(&from.stages);
             into.slo_series.merge(&from.slo_series);
+            into.offered += from.offered;
+            into.deferrals += from.deferrals;
+            into.rejected += from.rejected;
+            for (member, histo) in from.members {
+                into.members.entry(member).or_default().merge(&histo);
+            }
         }
     }
     merged
@@ -224,6 +259,9 @@ pub(crate) struct Accounting<'a> {
     tenant_of: &'a [u32],
     qp_of: &'a [u32],
     local_of: Option<&'a [u32]>,
+    /// Thinned member attribution (class runs only; see
+    /// [`ObsPlan::member_of`]).
+    member_of: Option<&'a [u32]>,
     /// Arrival instant of each owned request (dense via `local_of`).
     arrive_at: Vec<SimTime>,
     /// Last stage boundary of each owned request.
@@ -254,7 +292,7 @@ impl<'a> Accounting<'a> {
         local_of: Option<&'a [u32]>,
         slots: usize,
         total_qps: u32,
-        plan: &ObsPlan<'_>,
+        plan: &ObsPlan<'a>,
         spans: SpanOut<'a>,
     ) -> Self {
         let blame = plan.telemetry.blame;
@@ -263,6 +301,7 @@ impl<'a> Accounting<'a> {
             tenant_of,
             qp_of,
             local_of,
+            member_of: plan.member_of,
             arrive_at: vec![SimTime::ZERO; slots],
             last_mark: vec![SimTime::ZERO; slots],
             meters: vec![OccupancyMeter::default(); total_qps as usize],
@@ -374,6 +413,7 @@ impl<'a> Accounting<'a> {
                 }
                 let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
                 tenant.first_arrival.get_or_insert(at);
+                tenant.offered += 1;
                 tenant.slo_series.record_arrival(at.as_ns());
             }
             Rec::Stage {
@@ -396,6 +436,13 @@ impl<'a> Accounting<'a> {
                 tenant.latencies.push(latency);
                 tenant.last_completion = at;
                 tenant.slo_series.record_completion(at.as_ns(), latency);
+                if let Some(member_of) = self.member_of {
+                    tenant
+                        .members
+                        .entry(member_of[req as usize])
+                        .or_default()
+                        .record(latency);
+                }
                 if self.requests[req as usize].write {
                     self.write_latencies.push(latency);
                 } else {
@@ -405,6 +452,18 @@ impl<'a> Accounting<'a> {
             Rec::Meter { qp, at, occupancy } => {
                 self.meters[qp as usize].update(at, occupancy);
                 self.series.record_occupancy(at.as_ns(), occupancy);
+            }
+            Rec::Defer { req, at } => {
+                let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
+                tenant.deferrals += 1;
+                tenant.slo_series.record_deferral(at.as_ns());
+                self.series.record_deferral(at.as_ns());
+            }
+            Rec::Reject { req, at } => {
+                let tenant = &mut self.tenants[self.tenant_of[req as usize] as usize];
+                tenant.rejected += 1;
+                tenant.slo_series.record_rejection(at.as_ns());
+                self.series.record_rejection(at.as_ns());
             }
         }
     }

@@ -7,10 +7,23 @@
 //! (closed-loop tenants refill event-driven inside the engine instead), with
 //! each tenant driven by its own seeded RNG so adding a tenant never perturbs
 //! another tenant's stream.
+//!
+//! Explicit tenants top out at a handful of streams because generation is
+//! O(tenants). [`TenantClass`] scales past that: a class describes `members`
+//! statistically identical logical tenants whose merged stream is superposed
+//! in *closed form* — M independent Poisson(λ) sources merge to one
+//! Poisson(Mλ) source, exactly — so a million logical tenants cost one
+//! engine-level stream. Individual arrivals are attributed back to synthetic
+//! member ids by *thinning*: a dedicated per-class RNG (separate from the
+//! arrival-time stream, so attribution never perturbs timing) draws each
+//! arrival's member uniformly, which is precisely the decomposition theorem
+//! for a Poisson superposition. On top, an optional [`AdmissionSpec`] arms
+//! the engine's per-class SLO admission controller (see
+//! [`crate::engine::run_classes`]).
 
 use bam_obs::SloSpec;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::clock::SimTime;
@@ -111,6 +124,196 @@ impl TenantSpec {
     }
 }
 
+/// Token-bucket admission policy of one [`TenantClass`], actuating its SLO.
+///
+/// The engine derives the controller's depth threshold from the class's SLO
+/// budget via Little's law (see `engine::AdmissionCtl`): while the class's
+/// in-flight population projects a p99 under the budget, requests are
+/// admitted freely. Over budget, each admission costs one token; the bucket
+/// refills at `refill_per_s` in *virtual* time up to `burst` tokens, so
+/// short bursts ride through. Out of tokens, a request is deferred by
+/// `defer_ns` (re-offered later, its wait surfaced as the
+/// [`bam_obs::Stage::Admission`] dwell) at most `max_defers` times, then
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionSpec {
+    /// Token-bucket capacity: over-budget admissions a burst may borrow.
+    pub burst: u32,
+    /// Token refill rate in tokens per virtual second.
+    pub refill_per_s: f64,
+    /// Deferral backoff in virtual nanoseconds.
+    pub defer_ns: u64,
+    /// Deferrals a request tolerates before it is rejected.
+    pub max_defers: u32,
+}
+
+/// A class of `members` statistically identical logical tenants, merged
+/// into one engine-level stream in closed form.
+///
+/// `member_arrival` is the process of *one* member; [`merged_arrival`]
+/// (closed-form superposition) is what the engine actually schedules, so
+/// event-loop cost is O(classes) regardless of `members`. Sampled requests
+/// are attributed back to synthetic member ids by deterministic thinning
+/// ([`member_of`]) from a dedicated RNG stream, preserving the engine's
+/// bit-identity contract at any worker count.
+///
+/// [`merged_arrival`]: TenantClass::merged_arrival
+/// [`member_of`]: TenantClass::member_of
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantClass {
+    /// Stable identifier; also salts the class's RNG streams. A class and a
+    /// [`TenantSpec`] with the same id draw identical arrival times for the
+    /// same process — a class of one member *is* its explicit tenant.
+    pub id: u32,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Logical tenants aggregated by this class.
+    pub members: u32,
+    /// The arrival process of one individual member.
+    pub member_arrival: ArrivalProcess,
+    /// Total requests the whole class offers over the run.
+    pub requests: u64,
+    /// How many of those requests are writes (Bresenham-interleaved).
+    pub writes: u64,
+    /// Relative queue-pair weight under
+    /// [`crate::pipeline::QueuePairPolicy::WeightedFair`].
+    pub weight: u32,
+    /// Optional class-level service-level objective (evaluated over the
+    /// class's merged completions).
+    pub slo: Option<SloSpec>,
+    /// Optional admission controller actuating the SLO in the arrival path.
+    pub admission: Option<AdmissionSpec>,
+}
+
+impl TenantClass {
+    /// A read-only class of `members` tenants, each arriving per
+    /// `member_arrival`, offering `requests` in total.
+    pub fn new(
+        id: u32,
+        name: &str,
+        members: u32,
+        member_arrival: ArrivalProcess,
+        requests: u64,
+    ) -> Self {
+        Self {
+            id,
+            name: name.to_string(),
+            members,
+            member_arrival,
+            requests,
+            writes: 0,
+            weight: 1,
+            slo: None,
+            admission: None,
+        }
+    }
+
+    /// Attaches a p99 SLO (`target_p99_us` over `window_ns` evaluation
+    /// windows) to the class.
+    pub fn with_slo(mut self, target_p99_us: f64, window_ns: u64) -> Self {
+        self.slo = Some(SloSpec {
+            target_p99_us,
+            window_ns,
+        });
+        self
+    }
+
+    /// Arms the class's admission controller. Requires an SLO (the
+    /// controller's budget) — the engine asserts both are present.
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// The closed-form superposition of `members` independent
+    /// `member_arrival` processes:
+    ///
+    /// * `Poisson(λ)` → `Poisson(Mλ)` — exact (superposition theorem).
+    /// * `FixedRate(r)` → `FixedRate(Mr)` — the members' deterministic
+    ///   combs merge to one comb at the aggregate rate.
+    /// * [`Mmpp2`] → both state rates scaled by `M`, dwell times kept — the
+    ///   *shared modulating environment* reading (all members calm or
+    ///   bursty together: a flash crowd), under which the merge is again
+    ///   closed-form.
+    /// * `ClosedLoop(w)` → `ClosedLoop(Mw)` — each member keeps `w`
+    ///   requests in flight.
+    pub fn merged_arrival(&self) -> ArrivalProcess {
+        assert!(self.members > 0, "a class needs at least one member");
+        let m = f64::from(self.members);
+        match self.member_arrival {
+            ArrivalProcess::FixedRate { rate_per_s } => ArrivalProcess::FixedRate {
+                rate_per_s: rate_per_s * m,
+            },
+            ArrivalProcess::Poisson { rate_per_s } => ArrivalProcess::Poisson {
+                rate_per_s: rate_per_s * m,
+            },
+            ArrivalProcess::ClosedLoop { in_flight } => ArrivalProcess::ClosedLoop {
+                in_flight: in_flight.saturating_mul(self.members),
+            },
+            ArrivalProcess::Mmpp(p) => ArrivalProcess::Mmpp(Mmpp2 {
+                calm_rate_per_s: p.calm_rate_per_s * m,
+                burst_rate_per_s: p.burst_rate_per_s * m,
+                ..p
+            }),
+        }
+    }
+
+    /// Mean offered rate of the merged stream in requests per second —
+    /// the admission controller's λ. `None` for closed loops (their rate is
+    /// completion-driven, so there is no open-loop λ to project from;
+    /// admission control requires an open process).
+    pub fn offered_rate_per_s(&self) -> Option<f64> {
+        let m = f64::from(self.members);
+        match self.member_arrival {
+            ArrivalProcess::FixedRate { rate_per_s } | ArrivalProcess::Poisson { rate_per_s } => {
+                Some(rate_per_s * m)
+            }
+            ArrivalProcess::ClosedLoop { .. } => None,
+            ArrivalProcess::Mmpp(p) => Some(p.mean_rate_per_s() * m),
+        }
+    }
+
+    /// The class as one merged engine-level tenant: same id (so the arrival
+    /// RNG stream matches an explicit [`TenantSpec`] of the merged process),
+    /// with [`merged_arrival`](Self::merged_arrival) as its process.
+    pub(crate) fn merged_spec(&self) -> TenantSpec {
+        TenantSpec {
+            id: self.id,
+            name: self.name.clone(),
+            arrival: self.merged_arrival(),
+            requests: self.requests,
+            writes: self.writes,
+            weight: self.weight,
+            slo: self.slo,
+        }
+    }
+
+    /// Deterministic thinning: the synthetic member id of each of the
+    /// class's `requests` arrivals, drawn uniformly from a dedicated
+    /// per-class RNG stream.
+    ///
+    /// The thinning RNG is salted differently from the arrival-time RNG
+    /// (`TenantSpec::rng`), so attribution consumes no arrival draws —
+    /// the class's merged schedule is bit-identical whether or not member
+    /// attribution is requested. Thinning runs at generation time on the
+    /// sequential path, so it is invariant under the engine's worker count.
+    pub fn member_of(&self, run_seed: u64) -> Vec<u32> {
+        assert!(self.members > 0, "a class needs at least one member");
+        let mut rng = self.thinning_rng(run_seed);
+        (0..self.requests)
+            .map(|_| rng.gen_range(0..self.members))
+            .collect()
+    }
+
+    /// The class's private thinning RNG; the salt constant differs from
+    /// [`TenantSpec::rng`]'s so the two per-id streams never collide.
+    fn thinning_rng(&self, run_seed: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            run_seed ^ (u64::from(self.id) + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        )
+    }
+}
+
 /// The merged arrival schedule of N tenants: every open-stream arrival with
 /// its global request index, in time order, plus the initial batch of each
 /// closed-loop tenant (scheduled at time zero; refills are event-driven).
@@ -170,6 +373,30 @@ impl Superposition {
         Self { arrivals }
     }
 
+    /// Generates the merged streams of `classes` — one engine-level stream
+    /// per class regardless of member count — together with each request's
+    /// thinned member attribution.
+    ///
+    /// Returns the superposition plus `member_of`, indexed by global request
+    /// id: `member_of[base + i]` is the synthetic member (within its class)
+    /// of the class's `i`-th request. Cost is O(total requests), never
+    /// O(logical tenants).
+    pub fn generate_classes(
+        run_seed: u64,
+        classes: &[TenantClass],
+        bases: &[u64],
+    ) -> (Self, Vec<u32>) {
+        let specs: Vec<TenantSpec> = classes.iter().map(TenantClass::merged_spec).collect();
+        let merged = Self::generate(run_seed, &specs, bases);
+        let total: u64 = classes.iter().map(|c| c.requests).sum();
+        let mut member_of = vec![0u32; total as usize];
+        for (class, &base) in classes.iter().zip(bases) {
+            let thinned = class.member_of(run_seed);
+            member_of[base as usize..(base + class.requests) as usize].copy_from_slice(&thinned);
+        }
+        (merged, member_of)
+    }
+
     /// Arrivals a tenant contributes before the engine starts (everything for
     /// open streams, the initial window for closed loops).
     pub fn len(&self) -> usize {
@@ -212,6 +439,81 @@ mod tests {
         let s = Superposition::generate(1, &[t], &[0]);
         assert_eq!(s.len(), 4);
         assert!(s.arrivals.iter().all(|&(at, _)| at == SimTime::ZERO));
+    }
+
+    #[test]
+    fn class_stream_is_bitwise_the_merged_explicit_tenant() {
+        // A Poisson class of M members must schedule exactly what an
+        // explicit TenantSpec with the merged rate (same id) schedules.
+        let class = TenantClass::new(
+            3,
+            "pool",
+            1000,
+            ArrivalProcess::Poisson { rate_per_s: 50.0 },
+            400,
+        );
+        let explicit = TenantSpec::new(
+            3,
+            "pool",
+            ArrivalProcess::Poisson {
+                rate_per_s: 50.0 * 1000.0,
+            },
+            400,
+        );
+        let (via_class, member_of) = Superposition::generate_classes(9, &[class], &[0]);
+        let via_spec = Superposition::generate(9, &[explicit], &[0]);
+        assert_eq!(via_class, via_spec);
+        assert_eq!(member_of.len(), 400);
+        assert!(member_of.iter().all(|&m| m < 1000));
+    }
+
+    #[test]
+    fn single_member_class_is_its_explicit_tenant() {
+        let class = TenantClass::new(
+            1,
+            "solo",
+            1,
+            ArrivalProcess::Poisson { rate_per_s: 2.0e5 },
+            64,
+        );
+        let spec = TenantSpec::new(1, "solo", ArrivalProcess::Poisson { rate_per_s: 2.0e5 }, 64);
+        let (via_class, member_of) = Superposition::generate_classes(5, &[class], &[0]);
+        let via_spec = Superposition::generate(5, &[spec], &[0]);
+        assert_eq!(via_class, via_spec);
+        assert!(member_of.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn thinning_is_deterministic_and_separate_from_arrival_draws() {
+        let class = TenantClass::new(2, "c", 7, ArrivalProcess::Poisson { rate_per_s: 10.0 }, 200);
+        assert_eq!(class.member_of(11), class.member_of(11));
+        assert_ne!(class.member_of(11), class.member_of(12));
+        // Arrival times must not depend on whether thinning ran.
+        let (a, _) = Superposition::generate_classes(11, std::slice::from_ref(&class), &[0]);
+        let b = Superposition::generate(11, &[class.merged_spec()], &[0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merged_arrival_scales_rates_by_member_count() {
+        let c = TenantClass::new(
+            0,
+            "c",
+            4,
+            ArrivalProcess::FixedRate { rate_per_s: 250.0 },
+            8,
+        );
+        match c.merged_arrival() {
+            ArrivalProcess::FixedRate { rate_per_s } => assert!((rate_per_s - 1000.0).abs() < 1e-9),
+            other => panic!("unexpected merge: {other:?}"),
+        }
+        assert_eq!(c.offered_rate_per_s(), Some(1000.0));
+        let cl = TenantClass::new(0, "cl", 3, ArrivalProcess::ClosedLoop { in_flight: 2 }, 8);
+        assert_eq!(
+            cl.merged_arrival(),
+            ArrivalProcess::ClosedLoop { in_flight: 6 }
+        );
+        assert_eq!(cl.offered_rate_per_s(), None);
     }
 
     #[test]
